@@ -1,0 +1,49 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace cellscope::bench {
+
+std::size_t bench_towers() {
+  const char* env = std::getenv("CELLSCOPE_TOWERS");
+  if (env && *env) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 20) return static_cast<std::size_t>(v);
+  }
+  return 800;
+}
+
+std::uint64_t bench_seed() {
+  const char* env = std::getenv("CELLSCOPE_SEED");
+  if (env && *env) return std::strtoull(env, nullptr, 10);
+  return 2015;
+}
+
+const Experiment& experiment() {
+  static const Experiment instance = [] {
+    ExperimentConfig config;
+    config.n_towers = bench_towers();
+    config.seed = bench_seed();
+    return Experiment::run(config);
+  }();
+  return instance;
+}
+
+void banner(const std::string& artifact, const std::string& description) {
+  std::cout << "================================================================\n"
+            << "CellScope reproduction — " << artifact << "\n"
+            << description << "\n"
+            << "synthetic city: " << bench_towers() << " towers, seed "
+            << bench_seed() << "\n"
+            << "================================================================\n\n";
+}
+
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+}  // namespace cellscope::bench

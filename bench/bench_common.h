@@ -1,0 +1,30 @@
+// Shared plumbing for the figure/table reproduction harnesses.
+//
+// Every bench works from the same deterministic Experiment so numbers are
+// comparable across binaries. Scale and seed can be overridden with the
+// CELLSCOPE_TOWERS / CELLSCOPE_SEED environment variables; figure CSVs
+// land in the directory reported by figure_output_dir().
+#pragma once
+
+#include <string>
+
+#include "core/cellscope.h"
+
+namespace cellscope::bench {
+
+/// Tower count for benches (CELLSCOPE_TOWERS, default 800).
+std::size_t bench_towers();
+
+/// Seed for benches (CELLSCOPE_SEED, default 2015).
+std::uint64_t bench_seed();
+
+/// The shared experiment (built once per process).
+const Experiment& experiment();
+
+/// Prints the standard bench banner naming the paper artifact.
+void banner(const std::string& artifact, const std::string& description);
+
+/// "X.XXe+08"-style compact scientific formatting for byte counts.
+std::string sci(double v);
+
+}  // namespace cellscope::bench

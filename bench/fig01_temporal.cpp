@@ -1,0 +1,73 @@
+// Figure 1 — the temporal distribution of cellular traffic at three time
+// scales: one day (hourly shape with two peaks, ~12:00 and ~22:00), one
+// week (weekday/weekend alternation), and the full four weeks (weekly
+// periodicity).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cellscope;
+  using namespace cellscope::bench;
+
+  banner("Figure 1",
+         "Aggregate traffic at hourly / daily / weekly time scales");
+  const auto& e = experiment();
+  const auto total = e.total_aggregate();
+
+  // (a) One day (Thursday of week 1, like the paper's Aug 7).
+  const std::size_t day_begin = TimeGrid::slot_at(3, 0, 0);
+  std::vector<double> one_day(total.begin() + static_cast<long>(day_begin),
+                              total.begin() +
+                                  static_cast<long>(day_begin) +
+                                  TimeGrid::kSlotsPerDay);
+  LineChartOptions day_options;
+  day_options.title = "(a) one day — bytes per 10 minutes (Thursday)";
+  day_options.x_label = "hour of day 0..24";
+  day_options.height = 12;
+  std::cout << line_chart(one_day, day_options) << "\n";
+
+  const auto features = compute_time_features(total);
+  std::cout << "daily peaks detected at:";
+  for (const double h : features.weekday.peak_hours)
+    std::cout << " " << format_peak_time(h);
+  std::cout << "   (paper: ~12:00 and ~22:00)\n";
+  std::cout << "daily valley at " << format_peak_time(features.weekday.valley_hour)
+            << "   (paper: deep night, traffic follows sleep)\n\n";
+
+  // (b) One week.
+  std::vector<double> one_week(total.begin(),
+                               total.begin() + TimeGrid::kSlotsPerWeek);
+  LineChartOptions week_options;
+  week_options.title = "(b) one week — bytes per 10 minutes (Mon..Sun)";
+  week_options.x_label = "day of week 0..7";
+  week_options.height = 12;
+  std::cout << line_chart(one_week, week_options) << "\n";
+
+  // (c) Four weeks, daily totals.
+  std::vector<double> daily_totals(TimeGrid::kDays, 0.0);
+  for (std::size_t s = 0; s < total.size(); ++s)
+    daily_totals[static_cast<std::size_t>(TimeGrid::day(s))] += total[s];
+  LineChartOptions month_options;
+  month_options.title = "(c) four weeks — bytes per day";
+  month_options.x_label = "day 0..28 (weekly dips = weekends)";
+  month_options.height = 10;
+  std::cout << line_chart(daily_totals, month_options) << "\n";
+
+  // Quantify the weekly pattern: weekday vs weekend daily totals.
+  double weekday_total = 0.0;
+  double weekend_total = 0.0;
+  for (int d = 0; d < TimeGrid::kDays; ++d) {
+    if (d % 7 < 5) weekday_total += daily_totals[static_cast<std::size_t>(d)];
+    else weekend_total += daily_totals[static_cast<std::size_t>(d)];
+  }
+  std::cout << "mean weekday traffic / mean weekend traffic = "
+            << format_double((weekday_total / 20.0) / (weekend_total / 8.0), 3)
+            << "   (paper: weekend traffic < weekday traffic)\n";
+
+  export_series("fig01a_one_day", one_day, "bytes_per_slot");
+  export_series("fig01b_one_week", one_week, "bytes_per_slot");
+  export_series("fig01c_daily_totals", daily_totals, "bytes_per_day");
+  std::cout << "\nCSV exported to " << figure_output_dir() << "/fig01*.csv\n";
+  return 0;
+}

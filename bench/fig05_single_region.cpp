@@ -1,0 +1,50 @@
+// Figure 5 — the same visualization as Fig. 4 but restricted to towers of
+// one region type: residential (peak ~21:00-21:30, quiet 8:00-16:00) and
+// business district (peak around midday). Regularity replaces disorder.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cellscope;
+  using namespace cellscope::bench;
+
+  banner("Figure 5",
+         "Normalized daily traffic of 40 towers from a single region — "
+         "regular patterns");
+  const auto& e = experiment();
+
+  for (const auto [region, label] :
+       {std::pair{FunctionalRegion::kResident, "(a) residential towers"},
+        std::pair{FunctionalRegion::kOffice, "(b) business-district towers"}}) {
+    std::vector<std::size_t> rows;
+    for (std::size_t i = 0; i < e.towers().size() && rows.size() < 40; ++i)
+      if (e.towers()[i].true_region == region) rows.push_back(i);
+
+    std::vector<double> cells;
+    std::vector<double> peak_hours;
+    for (const auto row : rows) {
+      const auto features = compute_time_features(e.matrix().rows[row]);
+      const auto normalized = max_normalize(features.weekday.mean_day);
+      peak_hours.push_back(features.weekday.peak_hour);
+      for (const double v : normalized) cells.push_back(v);
+    }
+    std::cout << heatmap(cells, rows.size(), TimeGrid::kSlotsPerDay,
+                         std::string(label) +
+                             " — hour of day runs left to right")
+              << "\n";
+    const double lo = quantile(peak_hours, 0.05);
+    const double hi = quantile(peak_hours, 0.95);
+    std::cout << "  median peak at "
+              << format_peak_time(quantile(peak_hours, 0.5))
+              << "; 5th..95th percentile spread "
+              << format_double(hi - lo, 1)
+              << " h (vs ~10 h across all towers in Fig. 4)\n\n";
+    export_series(region == FunctionalRegion::kResident
+                      ? "fig05a_resident_peaks"
+                      : "fig05b_office_peaks",
+                  peak_hours, "peak_hour");
+  }
+  std::cout << "CSV exported to " << figure_output_dir() << "/fig05*.csv\n";
+  return 0;
+}

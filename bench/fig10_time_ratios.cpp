@@ -1,0 +1,53 @@
+// Figure 10 — time-domain characteristics of the five patterns:
+//   (a) weekday/weekend traffic-amount ratio (transport 1.49, office 1.79,
+//       others ≈ 1),
+//   (b) weekday and weekend peak-valley ratios (transport by far highest).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cellscope;
+  using namespace cellscope::bench;
+
+  banner("Figure 10",
+         "Weekday/weekend ratio and peak-valley ratios per pattern");
+  const auto& e = experiment();
+
+  const double paper_wd_we[kNumRegions] = {1.0, 1.49, 1.79, 1.0, 1.0};
+
+  std::vector<std::string> labels;
+  std::vector<double> ratios;
+  std::vector<double> pv_weekday;
+  std::vector<double> pv_weekend;
+
+  TextTable table("(a) weekday/weekend traffic amount ratio");
+  table.set_header({"region", "measured", "paper"});
+  for (const auto region : all_regions()) {
+    const auto features = compute_time_features(e.region_aggregate(region));
+    labels.push_back(region_name(region));
+    ratios.push_back(features.weekday_weekend_ratio);
+    pv_weekday.push_back(features.weekday.peak_valley_ratio);
+    pv_weekend.push_back(features.weekend.peak_valley_ratio);
+    table.add_row({region_name(region),
+                   format_double(features.weekday_weekend_ratio, 2),
+                   format_double(paper_wd_we[static_cast<int>(region)], 2)});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << bar_chart(labels, ratios, "weekday/weekend ratio", 40) << "\n";
+
+  std::cout << "(b) peak-valley ratio, weekday vs weekend (paper: transport "
+               "~133/115, office ~23/16, entertainment ~32/35, resident "
+               "~9/9, comprehensive ~9/10):\n\n";
+  std::cout << bar_chart(labels, pv_weekday, "weekday peak-valley ratio", 40)
+            << "\n";
+  std::cout << bar_chart(labels, pv_weekend, "weekend peak-valley ratio", 40)
+            << "\n";
+
+  export_columns("fig10_ratios",
+                 {"region_index", "wd_we_ratio", "pv_weekday", "pv_weekend"},
+                 {{0, 1, 2, 3, 4}, ratios, pv_weekday, pv_weekend});
+  std::cout << "CSV exported to " << figure_output_dir()
+            << "/fig10_ratios.csv\n";
+  return 0;
+}

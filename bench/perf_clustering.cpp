@@ -1,0 +1,105 @@
+// Perf/ablation: the pattern identifier.
+//   * NN-chain agglomerative clustering vs k-means across tower counts;
+//   * linkage ablation (single / complete / average) — DESIGN.md calls out
+//     average linkage as the paper's choice; this bench also reports the
+//     quality (DBI at k=5 and label agreement) each linkage achieves on
+//     the synthetic city, via counters.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "city/deployment.h"
+#include "ml/distance.h"
+#include "ml/hierarchical.h"
+#include "ml/kmeans.h"
+#include "ml/validity.h"
+#include "pipeline/traffic_matrix.h"
+#include "pipeline/vectorizer.h"
+#include "traffic/intensity_model.h"
+
+namespace {
+
+using namespace cellscope;
+
+/// Folded z-scored tower vectors at a given scale (cached per size).
+const std::vector<std::vector<double>>& tower_vectors(std::size_t n) {
+  static std::map<std::size_t, std::vector<std::vector<double>>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    const auto city = CityModel::create_default();
+    DeploymentOptions deployment;
+    deployment.n_towers = n;
+    const auto towers = deploy_towers(city, deployment);
+    const auto intensity = IntensityModel::create(towers, IntensityOptions{});
+    const auto matrix = vectorize_intensity(towers, intensity, 7);
+    TrafficMatrix m = matrix;
+    it = cache.emplace(n, fold_to_week(zscore_rows(m))).first;
+  }
+  return it->second;
+}
+
+void BM_DistanceMatrix(benchmark::State& state) {
+  const auto& points = tower_vectors(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto d = DistanceMatrix::compute(points);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DistanceMatrix)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HierarchicalNnChain(benchmark::State& state) {
+  const auto& points = tower_vectors(static_cast<std::size_t>(state.range(0)));
+  const auto distances = DistanceMatrix::compute(points);
+  for (auto _ : state) {
+    auto dendrogram = Dendrogram::run(distances, Linkage::kAverage);
+    benchmark::DoNotOptimize(dendrogram);
+  }
+}
+BENCHMARK(BM_HierarchicalNnChain)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMeansBaseline(benchmark::State& state) {
+  const auto& points = tower_vectors(static_cast<std::size_t>(state.range(0)));
+  KMeansOptions options;
+  options.k = 5;
+  for (auto _ : state) {
+    auto result = kmeans(points, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KMeansBaseline)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LinkageAblation(benchmark::State& state) {
+  // Time per linkage; DBI quality at k=5 reported as a counter.
+  const auto linkage = static_cast<Linkage>(state.range(0));
+  const auto& points = tower_vectors(300);
+  const auto distances = DistanceMatrix::compute(points);
+  double dbi = 0.0;
+  for (auto _ : state) {
+    auto dendrogram = Dendrogram::run(distances, linkage);
+    dbi = davies_bouldin(points, dendrogram.cut_k(5));
+    benchmark::DoNotOptimize(dendrogram);
+  }
+  state.counters["dbi_at_k5"] = dbi;
+}
+BENCHMARK(BM_LinkageAblation)
+    ->Arg(static_cast<int>(Linkage::kSingle))
+    ->Arg(static_cast<int>(Linkage::kComplete))
+    ->Arg(static_cast<int>(Linkage::kAverage))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DbiSweep(benchmark::State& state) {
+  // The metric tuner: one dendrogram, many cuts.
+  const auto& points = tower_vectors(300);
+  const auto dendrogram =
+      Dendrogram::run(DistanceMatrix::compute(points), Linkage::kAverage);
+  for (auto _ : state) {
+    auto sweep = dbi_sweep(dendrogram, points, 2, 10);
+    benchmark::DoNotOptimize(sweep);
+  }
+}
+BENCHMARK(BM_DbiSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Perf/ablation: end-to-end pipeline stage timings vs tower count, and
+// the weekly-fold ablation (DESIGN.md §5.2 — fold vs full-length
+// clustering).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "city/deployment.h"
+#include "city/poi.h"
+#include "core/experiment.h"
+#include "ml/distance.h"
+#include "pipeline/traffic_matrix.h"
+#include "pipeline/vectorizer.h"
+#include "traffic/intensity_model.h"
+
+namespace {
+
+using namespace cellscope;
+
+void BM_FullExperiment(benchmark::State& state) {
+  ExperimentConfig config;
+  config.n_towers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto experiment = Experiment::run(config);
+    benchmark::DoNotOptimize(experiment.labels());
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+BENCHMARK(BM_FullExperiment)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+struct Stages {
+  std::vector<Tower> towers;
+  std::unique_ptr<IntensityModel> intensity;
+  TrafficMatrix matrix;
+  std::vector<std::vector<double>> zscored;
+};
+
+const Stages& stages(std::size_t n) {
+  static std::map<std::size_t, Stages> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Stages s;
+    const auto city = CityModel::create_default();
+    DeploymentOptions deployment;
+    deployment.n_towers = n;
+    s.towers = deploy_towers(city, deployment);
+    s.intensity = std::make_unique<IntensityModel>(
+        IntensityModel::create(s.towers, IntensityOptions{}));
+    s.matrix = vectorize_intensity(s.towers, *s.intensity, 3);
+    s.zscored = zscore_rows(s.matrix);
+    it = cache.emplace(n, std::move(s)).first;
+  }
+  return it->second;
+}
+
+void BM_StageVectorize(benchmark::State& state) {
+  const auto& s = stages(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto matrix = vectorize_intensity(s.towers, *s.intensity, 3);
+    benchmark::DoNotOptimize(matrix);
+  }
+}
+BENCHMARK(BM_StageVectorize)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StageZscore(benchmark::State& state) {
+  const auto& s = stages(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto z = zscore_rows(s.matrix);
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_StageZscore)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_FoldAblation_Folded(benchmark::State& state) {
+  // Distance matrix over the mean-week fold (1008 dims).
+  const auto& s = stages(300);
+  for (auto _ : state) {
+    auto folded = fold_to_week(s.zscored);
+    auto distances = DistanceMatrix::compute(folded);
+    benchmark::DoNotOptimize(distances);
+  }
+}
+BENCHMARK(BM_FoldAblation_Folded)->Unit(benchmark::kMillisecond);
+
+void BM_FoldAblation_FullLength(benchmark::State& state) {
+  // Distance matrix over the full 4032-dim vectors — the ~4x cost the
+  // fold saves.
+  const auto& s = stages(300);
+  for (auto _ : state) {
+    auto distances = DistanceMatrix::compute(s.zscored);
+    benchmark::DoNotOptimize(distances);
+  }
+}
+BENCHMARK(BM_FoldAblation_FullLength)->Unit(benchmark::kMillisecond);
+
+void BM_StagePoiGeneration(benchmark::State& state) {
+  const auto& s = stages(static_cast<std::size_t>(state.range(0)));
+  const auto city = CityModel::create_default();
+  for (auto _ : state) {
+    auto pois = PoiDatabase::generate(city, s.towers,
+                                      s.intensity->mixtures(),
+                                      PoiGenerationOptions{});
+    benchmark::DoNotOptimize(pois);
+  }
+}
+BENCHMARK(BM_StagePoiGeneration)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Perf/ablation: the §5.3 QP solver — exact active-set enumeration vs the
+// projected-gradient baseline, across component counts.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "opt/simplex_ls.h"
+
+namespace {
+
+using namespace cellscope;
+
+std::vector<std::vector<double>> random_components(std::size_t m,
+                                                   std::size_t dim) {
+  Rng rng(m * 31 + dim);
+  std::vector<std::vector<double>> components(m, std::vector<double>(dim));
+  for (auto& c : components)
+    for (auto& v : c) v = rng.normal();
+  return components;
+}
+
+void BM_ActiveSet(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto components = random_components(m, 3);
+  Rng rng(9);
+  std::vector<double> target = {rng.normal(), rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto result = solve_simplex_ls(components, target);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ActiveSet)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ProjectedGradient(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto components = random_components(m, 3);
+  Rng rng(9);
+  std::vector<double> target = {rng.normal(), rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto result = solve_simplex_ls_pg(components, target, 5000, 1e-10);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ProjectedGradient)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_SimplexProjection(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : v) x = rng.normal();
+  for (auto _ : state) {
+    auto p = project_to_simplex(v);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_SimplexProjection)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_DecomposeAllComprehensiveTowers(benchmark::State& state) {
+  // The full §5.3 workload shape: many 4-component, 3-dim solves.
+  const auto components = random_components(4, 3);
+  Rng rng(11);
+  std::vector<std::vector<double>> targets(200);
+  for (auto& t : targets)
+    t = {rng.normal(), rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const auto& target : targets)
+      total += solve_simplex_ls(components, target).objective;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(targets.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DecomposeAllComprehensiveTowers)->Unit(benchmark::kMillisecond);
+
+}  // namespace

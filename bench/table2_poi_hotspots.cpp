@@ -1,0 +1,56 @@
+// Table 2 — POI distribution (counts within 200 m) at each cluster's
+// highest-density point A..E. Paper: A residential-dominant (195), B
+// transport-relative-dominant (2 transport but highest share), C office
+// 1016, D entertainment 2165, E mixed.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cellscope;
+  using namespace cellscope::bench;
+
+  banner("Table 2", "POI distribution at each cluster's densest point");
+  const auto& e = experiment();
+  const std::size_t grid_rows = 40;
+  const std::size_t grid_cols = 80;
+
+  TextTable table("POI counts within 200 m of points A..E");
+  table.set_header({"point", "cluster", "Resident", "Transport", "Office",
+                    "Entertain"});
+  for (std::size_t c = 0; c < e.n_clusters(); ++c) {
+    DensityGrid grid(e.city().box(), grid_rows, grid_cols);
+    for (const auto row : e.rows_of_cluster(c))
+      grid.add(e.towers()[row].position, 1.0);
+    const auto peak = grid.peak();
+
+    // The densest *tower* in the peak cell neighborhood: query POIs at the
+    // actual tower position, as the paper does.
+    const auto cell_center = grid.cell_center(peak.row, peak.col);
+    std::size_t best_row = e.rows_of_cluster(c).front();
+    double best_km = 1e18;
+    for (const auto row : e.rows_of_cluster(c)) {
+      const double km = haversine_km(e.towers()[row].position, cell_center);
+      if (km < best_km) {
+        best_km = km;
+        best_row = row;
+      }
+    }
+    const auto counts =
+        e.pois().counts_near(e.towers()[best_row].position, kPoiRadiusM);
+    table.add_row({std::string(1, static_cast<char>('A' + c)),
+                   region_name(e.labeling().region_of_cluster[c]),
+                   std::to_string(counts[0]), std::to_string(counts[1]),
+                   std::to_string(counts[2]), std::to_string(counts[3])});
+  }
+  std::cout << table.render() << "\n";
+  std::cout
+      << "paper reference rows —\n"
+      << "  A (resident):      195 / 0 / 19 / 51\n"
+      << "  B (transport):     68 / 2 / 56 / 36  (transport rare in absolute "
+         "terms but relatively highest)\n"
+      << "  C (office):        151 / 1 / 1016 / 157\n"
+      << "  D (entertainment): 16 / 0 / 108 / 2165\n"
+      << "  E (comprehensive): 59 / 0 / 179 / 26 (no dominant type)\n";
+  return 0;
+}

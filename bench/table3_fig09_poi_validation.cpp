@@ -1,0 +1,70 @@
+// Table 3 + Figure 9 — macro-scale validation: min-max-normalized POI
+// counts averaged per cluster (Table 3) and each cluster's POI shares
+// (Fig. 9 pie charts). Paper: transport POI holds 44% of the transport
+// cluster's share, entertainment 39% of the entertainment cluster's.
+#include <iostream>
+
+#include "analysis/poi_features.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace cellscope;
+  using namespace cellscope::bench;
+
+  banner("Table 3 + Figure 9",
+         "Averaged normalized POI of the five clusters, and per-cluster "
+         "POI shares");
+  const auto& e = experiment();
+  const auto normalized = normalized_poi_by_cluster(e.poi_counts(),
+                                                    e.labels());
+  const auto shares = poi_shares_by_cluster(normalized);
+
+  TextTable table("Table 3 — averaged min-max-normalized POI");
+  table.set_header({"cluster", "region", "Resident", "Transport", "Office",
+                    "Entertain"});
+  for (std::size_t c = 0; c < normalized.size(); ++c) {
+    table.add_row({"#" + std::to_string(c + 1),
+                   region_name(e.labeling().region_of_cluster[c]),
+                   format_double(normalized[c][0], 4),
+                   format_double(normalized[c][1], 4),
+                   format_double(normalized[c][2], 4),
+                   format_double(normalized[c][3], 4)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "Figure 9 — POI shares per cluster (the paper's pie charts, "
+               "as bars):\n\n";
+  for (std::size_t c = 0; c < shares.size(); ++c) {
+    const auto region = e.labeling().region_of_cluster[c];
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (const PoiType t : all_poi_types()) {
+      labels.push_back(poi_type_name(t));
+      values.push_back(shares[c][static_cast<int>(t)]);
+    }
+    std::cout << bar_chart(labels, values,
+                           "cluster #" + std::to_string(c + 1) + " (" +
+                               region_name(region) + ") POI shares",
+                           40)
+              << "\n";
+  }
+
+  // The dominance checks the paper reports.
+  auto share_of = [&](FunctionalRegion region, PoiType type) {
+    const auto cluster = e.cluster_of_region(region);
+    return cluster ? shares[*cluster][static_cast<int>(type)] : 0.0;
+  };
+  std::cout << "transport POI share in the transport cluster: "
+            << format_double(
+                   100.0 * share_of(FunctionalRegion::kTransport,
+                                    PoiType::kTransport),
+                   1)
+            << "%   (paper: 44%)\n";
+  std::cout << "entertainment POI share in the entertainment cluster: "
+            << format_double(
+                   100.0 * share_of(FunctionalRegion::kEntertainment,
+                                    PoiType::kEntertain),
+                   1)
+            << "%   (paper: 39%)\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "analysis/component_analysis.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+namespace {
+
+double feature_distance(const std::array<double, 3>& a,
+                        const std::array<double, 3>& b) {
+  double s = 0.0;
+  for (int i = 0; i < 3; ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+std::size_t find_representative(
+    const std::vector<std::array<double, 3>>& features,
+    const std::vector<int>& labels, int cluster) {
+  return find_representative(features, labels, cluster,
+                             RepresentativeOptions{});
+}
+
+std::size_t find_representative(
+    const std::vector<std::array<double, 3>>& features,
+    const std::vector<int>& labels, int cluster,
+    const RepresentativeOptions& options) {
+  CS_CHECK_MSG(features.size() == labels.size() && !features.empty(),
+               "features and labels must match");
+
+  std::vector<std::size_t> members;
+  std::vector<std::size_t> others;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == cluster) members.push_back(i);
+    else others.push_back(i);
+  }
+  CS_CHECK_MSG(!members.empty(), "cluster has no members");
+  CS_CHECK_MSG(!others.empty(), "no other clusters to separate from");
+
+  auto evaluate = [&](bool enforce_density) -> std::size_t {
+    double best_score = -1.0;
+    std::size_t best = features.size();  // sentinel
+    for (const std::size_t i : members) {
+      if (enforce_density) {
+        std::size_t neighbors = 0;
+        for (std::size_t j = 0; j < features.size(); ++j) {
+          if (j == i) continue;
+          if (feature_distance(features[i], features[j]) <=
+              options.density_radius)
+            ++neighbors;
+        }
+        if (neighbors < options.min_neighbors) continue;  // noise point
+      }
+      double min_d = std::numeric_limits<double>::infinity();
+      for (const std::size_t j : others)
+        min_d = std::min(min_d, feature_distance(features[i], features[j]));
+      if (min_d > best_score) {
+        best_score = min_d;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  std::size_t chosen = evaluate(true);
+  if (chosen == features.size()) chosen = evaluate(false);  // all "noise"
+  CS_CHECK_MSG(chosen < features.size(), "no representative found");
+  return chosen;
+}
+
+Decomposition decompose_feature(
+    const std::array<double, 3>& feature,
+    const std::array<std::array<double, 3>, 4>& primary_features) {
+  std::vector<std::vector<double>> components;
+  components.reserve(4);
+  for (const auto& p : primary_features)
+    components.emplace_back(p.begin(), p.end());
+  const std::vector<double> target(feature.begin(), feature.end());
+
+  const auto solution = solve_simplex_ls(components, target);
+  Decomposition d;
+  for (int i = 0; i < 4; ++i) d.coefficients[i] = solution.coefficients[i];
+  d.residual = std::sqrt(solution.objective);
+  return d;
+}
+
+std::vector<double> combine_series(
+    const std::array<double, 4>& coefficients,
+    const std::array<std::vector<double>, 4>& primary_series) {
+  const std::size_t n = primary_series[0].size();
+  for (const auto& s : primary_series)
+    CS_CHECK_MSG(s.size() == n, "primary series must have equal length");
+  std::vector<double> out(n, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    if (coefficients[i] == 0.0) continue;
+    for (std::size_t t = 0; t < n; ++t)
+      out[t] += coefficients[i] * primary_series[i][t];
+  }
+  return out;
+}
+
+}  // namespace cellscope

@@ -1,0 +1,77 @@
+#include "analysis/freq_features.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/time_grid.h"
+
+namespace cellscope {
+
+FreqFeatures compute_freq_features(std::span<const double> zscored_series) {
+  CS_CHECK_MSG(zscored_series.size() == TimeGrid::kSlots,
+               "frequency features need a 4032-slot series");
+  const Spectrum spectrum(zscored_series);
+  FreqFeatures f;
+  f.amp_week = spectrum.normalized_amplitude(kWeeklyComponent);
+  f.phase_week = spectrum.phase(kWeeklyComponent);
+  f.amp_day = spectrum.normalized_amplitude(kDailyComponent);
+  f.phase_day = spectrum.phase(kDailyComponent);
+  f.amp_half_day = spectrum.normalized_amplitude(kHalfDailyComponent);
+  f.phase_half_day = spectrum.phase(kHalfDailyComponent);
+  return f;
+}
+
+std::vector<FreqFeatures> compute_freq_features(
+    const std::vector<std::vector<double>>& zscored_rows) {
+  std::vector<FreqFeatures> out;
+  out.reserve(zscored_rows.size());
+  for (const auto& row : zscored_rows)
+    out.push_back(compute_freq_features(row));
+  return out;
+}
+
+std::vector<double> amplitude_variance_spectrum(
+    const std::vector<std::vector<double>>& zscored_rows, std::size_t max_k) {
+  CS_CHECK_MSG(!zscored_rows.empty(), "need at least one row");
+  CS_CHECK_MSG(max_k < TimeGrid::kSlots, "max_k out of range");
+  const std::size_t n = zscored_rows.size();
+  std::vector<std::vector<double>> amp_by_k(
+      max_k + 1, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Spectrum spectrum(zscored_rows[i]);
+    for (std::size_t k = 0; k <= max_k; ++k)
+      amp_by_k[k][i] = spectrum.normalized_amplitude(k);
+  }
+  std::vector<double> var(max_k + 1, 0.0);
+  for (std::size_t k = 0; k <= max_k; ++k) var[k] = variance(amp_by_k[k]);
+  return var;
+}
+
+double circular_mean(std::span<const double> phases) {
+  CS_CHECK_MSG(!phases.empty(), "circular mean of empty set");
+  double s = 0.0;
+  double c = 0.0;
+  for (const double p : phases) {
+    s += std::sin(p);
+    c += std::cos(p);
+  }
+  return std::atan2(s, c);
+}
+
+double circular_stddev(std::span<const double> phases) {
+  CS_CHECK_MSG(!phases.empty(), "circular stddev of empty set");
+  double s = 0.0;
+  double c = 0.0;
+  for (const double p : phases) {
+    s += std::sin(p);
+    c += std::cos(p);
+  }
+  const double n = static_cast<double>(phases.size());
+  const double r = std::sqrt(s * s + c * c) / n;
+  // Mardia's definition: sqrt(-2 ln R); 0 when all phases agree.
+  return r > 0.0 ? std::sqrt(std::max(0.0, -2.0 * std::log(r)))
+                 : std::sqrt(-2.0 * std::log(1e-12));
+}
+
+}  // namespace cellscope

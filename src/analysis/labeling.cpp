@@ -1,0 +1,85 @@
+#include "analysis/labeling.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+ClusterLabeling label_clusters_by_poi(
+    const std::vector<std::array<double, kNumPoiTypes>>& normalized_poi) {
+  const std::size_t k = normalized_poi.size();
+  CS_CHECK_MSG(k >= 1, "need at least one cluster");
+
+  // Column-normalize so each POI type's mass distributes over clusters;
+  // a cluster "owns" a type when it holds the type's largest share.
+  std::array<double, kNumPoiTypes> column_total{};
+  for (const auto& row : normalized_poi)
+    for (int t = 0; t < kNumPoiTypes; ++t) column_total[t] += row[t];
+
+  // Score = (cluster's share of the type) x (absolute normalized value):
+  // relative dominance alone would let a minuscule monopoly of one type
+  // outrank a strong signal of another.
+  std::vector<std::array<double, kNumPoiTypes>> share(
+      k, std::array<double, kNumPoiTypes>{});
+  for (std::size_t c = 0; c < k; ++c)
+    for (int t = 0; t < kNumPoiTypes; ++t)
+      share[c][t] = column_total[t] > 0.0
+                        ? normalized_poi[c][t] / column_total[t] *
+                              normalized_poi[c][t]
+                        : 0.0;
+
+  ClusterLabeling labeling;
+  labeling.region_of_cluster.assign(k, FunctionalRegion::kComprehensive);
+  std::vector<bool> cluster_used(k, false);
+  std::array<bool, kNumPoiTypes> type_used{};
+
+  // Greedy: repeatedly take the strongest remaining (cluster, type) pair.
+  const std::size_t assignments = std::min<std::size_t>(k, kNumPoiTypes);
+  for (std::size_t step = 0; step < assignments; ++step) {
+    double best = -1.0;
+    std::size_t best_c = 0;
+    int best_t = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (cluster_used[c]) continue;
+      for (int t = 0; t < kNumPoiTypes; ++t) {
+        if (type_used[t]) continue;
+        if (share[c][t] > best) {
+          best = share[c][t];
+          best_c = c;
+          best_t = t;
+        }
+      }
+    }
+    if (best <= 0.0) break;  // no signal left
+    cluster_used[best_c] = true;
+    type_used[best_t] = true;
+    labeling.region_of_cluster[best_c] =
+        region_of_poi_type(static_cast<PoiType>(best_t));
+  }
+  return labeling;
+}
+
+LabelValidation validate_labels(const std::vector<int>& labels,
+                                const ClusterLabeling& labeling,
+                                const std::vector<std::size_t>& row_tower,
+                                const std::vector<Tower>& towers) {
+  CS_CHECK_MSG(labels.size() == row_tower.size() && !labels.empty(),
+               "labels and row mapping must match");
+  LabelValidation v;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto cluster = static_cast<std::size_t>(labels[i]);
+    CS_CHECK_MSG(cluster < labeling.region_of_cluster.size(),
+                 "label exceeds cluster count");
+    CS_CHECK_MSG(row_tower[i] < towers.size(), "row mapping out of range");
+    const FunctionalRegion truth = towers[row_tower[i]].true_region;
+    const FunctionalRegion labeled = labeling.region_of_cluster[cluster];
+    ++v.confusion[static_cast<int>(truth)][static_cast<int>(labeled)];
+    if (truth == labeled) ++correct;
+  }
+  v.accuracy = static_cast<double>(correct) / static_cast<double>(labels.size());
+  return v;
+}
+
+}  // namespace cellscope

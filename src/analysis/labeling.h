@@ -1,0 +1,47 @@
+// Cluster → urban-functional-region labeling and validation (§3.3).
+//
+// The paper labels the five traffic clusters by inspecting tower-density
+// hotspots and POI distributions, then validates the labels against POI
+// data in micro (case studies) and macro (all-tower POI averages) scale.
+// Here the labeling is automated: the cluster most distinctively rich in a
+// pure POI type receives that type's region (greedy assignment on
+// column-normalized POI dominance); unassigned clusters are labeled
+// comprehensive. Validation compares against the generator's latent
+// regions — the synthetic stand-in for the paper's manual ground truth.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "city/tower.h"
+
+namespace cellscope {
+
+/// Region assigned to each cluster id.
+struct ClusterLabeling {
+  std::vector<FunctionalRegion> region_of_cluster;
+};
+
+/// Labels clusters from their averaged normalized POI rows (Table 3
+/// layout: one row per cluster, one column per pure POI type).
+ClusterLabeling label_clusters_by_poi(
+    const std::vector<std::array<double, kNumPoiTypes>>& normalized_poi);
+
+/// Validation against the latent ground truth.
+struct LabelValidation {
+  /// Fraction of towers whose labeled region equals the latent region.
+  double accuracy = 0.0;
+  /// confusion[true_region][labeled_region] tower counts.
+  std::array<std::array<std::size_t, kNumRegions>, kNumRegions> confusion{};
+};
+
+/// Compares cluster labels with the towers' latent regions. `labels[i]`
+/// is the cluster of matrix row i; `row_tower` maps rows to tower indices
+/// in `towers`.
+LabelValidation validate_labels(const std::vector<int>& labels,
+                                const ClusterLabeling& labeling,
+                                const std::vector<std::size_t>& row_tower,
+                                const std::vector<Tower>& towers);
+
+}  // namespace cellscope

@@ -1,0 +1,72 @@
+#include "city/functional_region.h"
+
+#include "common/error.h"
+
+namespace cellscope {
+
+std::string region_name(FunctionalRegion r) {
+  switch (r) {
+    case FunctionalRegion::kResident: return "Resident";
+    case FunctionalRegion::kTransport: return "Transport";
+    case FunctionalRegion::kOffice: return "Office";
+    case FunctionalRegion::kEntertainment: return "Entertainment";
+    case FunctionalRegion::kComprehensive: return "Comprehensive";
+  }
+  throw InvalidArgument("unknown FunctionalRegion");
+}
+
+std::string poi_type_name(PoiType t) {
+  switch (t) {
+    case PoiType::kResident: return "Resident";
+    case PoiType::kTransport: return "Transport";
+    case PoiType::kOffice: return "Office";
+    case PoiType::kEntertain: return "Entertain";
+  }
+  throw InvalidArgument("unknown PoiType");
+}
+
+std::array<FunctionalRegion, kNumRegions> all_regions() {
+  return {FunctionalRegion::kResident, FunctionalRegion::kTransport,
+          FunctionalRegion::kOffice, FunctionalRegion::kEntertainment,
+          FunctionalRegion::kComprehensive};
+}
+
+std::array<PoiType, kNumPoiTypes> all_poi_types() {
+  return {PoiType::kResident, PoiType::kTransport, PoiType::kOffice,
+          PoiType::kEntertain};
+}
+
+std::array<double, kNumRegions> table1_region_mix() {
+  // Published percentages (Table 1); they sum to 100.01 due to rounding,
+  // so renormalize.
+  std::array<double, kNumRegions> mix = {0.1755, 0.0258, 0.4572, 0.0935,
+                                         0.2481};
+  double s = 0.0;
+  for (const double v : mix) s += v;
+  for (auto& v : mix) v /= s;
+  return mix;
+}
+
+PoiType poi_type_of_region(FunctionalRegion r) {
+  switch (r) {
+    case FunctionalRegion::kResident: return PoiType::kResident;
+    case FunctionalRegion::kTransport: return PoiType::kTransport;
+    case FunctionalRegion::kOffice: return PoiType::kOffice;
+    case FunctionalRegion::kEntertainment: return PoiType::kEntertain;
+    case FunctionalRegion::kComprehensive:
+      throw InvalidArgument("comprehensive region has no single POI type");
+  }
+  throw InvalidArgument("unknown FunctionalRegion");
+}
+
+FunctionalRegion region_of_poi_type(PoiType t) {
+  switch (t) {
+    case PoiType::kResident: return FunctionalRegion::kResident;
+    case PoiType::kTransport: return FunctionalRegion::kTransport;
+    case PoiType::kOffice: return FunctionalRegion::kOffice;
+    case PoiType::kEntertain: return FunctionalRegion::kEntertainment;
+  }
+  throw InvalidArgument("unknown PoiType");
+}
+
+}  // namespace cellscope

@@ -1,0 +1,60 @@
+// Urban functional regions and POI types.
+//
+// The paper identifies exactly five tower clusters and maps them to urban
+// functional regions (Table 1): resident, transport, office, entertainment
+// and comprehensive. POIs come in the four "pure" types the paper counts
+// within 200 m of each tower (§3.3.1).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace cellscope {
+
+/// The five urban functional regions, in the paper's cluster order
+/// (Table 1: cluster #1 = resident ... #5 = comprehensive).
+enum class FunctionalRegion : int {
+  kResident = 0,
+  kTransport = 1,
+  kOffice = 2,
+  kEntertainment = 3,
+  kComprehensive = 4,
+};
+
+inline constexpr int kNumRegions = 5;
+
+/// The four POI types (comprehensive areas have no POI type of their own).
+enum class PoiType : int {
+  kResident = 0,
+  kTransport = 1,
+  kOffice = 2,
+  kEntertain = 3,
+};
+
+inline constexpr int kNumPoiTypes = 4;
+
+/// Human-readable region name ("Resident", ...).
+std::string region_name(FunctionalRegion r);
+
+/// Human-readable POI type name ("Resident", "Transport", ...).
+std::string poi_type_name(PoiType t);
+
+/// All regions in cluster order.
+std::array<FunctionalRegion, kNumRegions> all_regions();
+
+/// All POI types in order.
+std::array<PoiType, kNumPoiTypes> all_poi_types();
+
+/// The paper's Table 1 cluster shares, indexed by FunctionalRegion:
+/// resident 17.55 %, transport 2.58 %, office 45.72 %, entertainment
+/// 9.35 %, comprehensive 24.81 %. Sums to 1 (after renormalization of the
+/// published rounded values).
+std::array<double, kNumRegions> table1_region_mix();
+
+/// The POI type matching a pure region; throws for kComprehensive.
+PoiType poi_type_of_region(FunctionalRegion r);
+
+/// The region matching a POI type.
+FunctionalRegion region_of_poi_type(PoiType t);
+
+}  // namespace cellscope

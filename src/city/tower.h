@@ -1,0 +1,23 @@
+// A cellular tower (base station).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "city/functional_region.h"
+#include "geo/latlon.h"
+
+namespace cellscope {
+
+/// One 3G/LTE base station. `true_region` is the latent ground-truth
+/// functional region the generator assigned — the synthetic stand-in for
+/// the paper's manual labels (DESIGN.md §2); the analysis pipeline never
+/// reads it except for validation.
+struct Tower {
+  std::uint32_t id = 0;
+  LatLon position;
+  std::string address;  ///< synthetic street address (geocodable)
+  FunctionalRegion true_region = FunctionalRegion::kComprehensive;
+};
+
+}  // namespace cellscope

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of cellscope takes an explicit seed so that
+// experiments are reproducible bit-for-bit across runs (DESIGN.md §5.1).
+// The generator is splitmix64-seeded xoshiro256**, a small, fast, high
+// quality PRNG; distributions are implemented locally so results do not
+// depend on the standard library implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cellscope {
+
+/// Deterministic random number generator with the distributions used
+/// throughout the synthetic city and traffic generators.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Poisson with the given mean (>= 0); Knuth for small means,
+  /// normal approximation for large ones.
+  std::int64_t poisson(double mean);
+
+  /// Gamma(shape, scale) via Marsaglia-Tsang; shape > 0, scale > 0.
+  double gamma(double shape, double scale);
+
+  /// Dirichlet sample with the given concentration parameters (all > 0).
+  std::vector<double> dirichlet(const std::vector<double>& alpha);
+
+  /// Index sampled from unnormalized non-negative weights (sum > 0).
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel determinism).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace cellscope

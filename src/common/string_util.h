@@ -1,0 +1,31 @@
+// Small string helpers shared by CSV/trace parsing and table rendering.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellscope {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Fixed-precision decimal formatting (no locale surprises).
+std::string format_double(double v, int precision);
+
+/// Formats a byte count as a human-readable quantity ("1.25 GB").
+std::string format_bytes(double bytes);
+
+}  // namespace cellscope

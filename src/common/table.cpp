@@ -1,0 +1,62 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  CS_CHECK_MSG(!header.empty(), "header must not be empty");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  CS_CHECK_MSG(header_.empty() || row.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  if (cols == 0) return title_.empty() ? std::string() : title_ + "\n";
+
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (std::size_t i = 0; i < cols; ++i)
+      s += std::string(width[i] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& r) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < r.size() ? r[i] : std::string();
+      s += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule();
+  }
+  for (const auto& r : rows_) out += line(r);
+  out += rule();
+  return out;
+}
+
+}  // namespace cellscope

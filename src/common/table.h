@@ -1,0 +1,33 @@
+// Aligned text tables for bench binaries that regenerate the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cellscope {
+
+/// Builds monospace tables with a header row, column alignment and an
+/// optional title, then renders them as a string.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "");
+
+  /// Sets the header row (fixes the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count if set.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with box-drawing separators.
+  std::string render() const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cellscope

@@ -1,0 +1,75 @@
+#include "common/time_grid.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+int TimeGrid::day(std::size_t slot) {
+  CS_CHECK_MSG(slot < kSlots, "slot out of range");
+  return static_cast<int>(slot) / kSlotsPerDay;
+}
+
+int TimeGrid::day_of_week(std::size_t slot) { return day(slot) % kDaysPerWeek; }
+
+bool TimeGrid::is_weekday(std::size_t slot) { return day_of_week(slot) < 5; }
+
+int TimeGrid::slot_of_day(std::size_t slot) {
+  CS_CHECK_MSG(slot < kSlots, "slot out of range");
+  return static_cast<int>(slot) % kSlotsPerDay;
+}
+
+int TimeGrid::slot_of_week(std::size_t slot) {
+  CS_CHECK_MSG(slot < kSlots, "slot out of range");
+  return static_cast<int>(slot) % kSlotsPerWeek;
+}
+
+double TimeGrid::hour_of_day(std::size_t slot) {
+  return static_cast<double>(slot_of_day(slot)) * kSlotMinutes / 60.0;
+}
+
+std::size_t TimeGrid::slot_at(int day, int hour, int minute) {
+  CS_CHECK_MSG(day >= 0 && day < kDays, "day out of range");
+  CS_CHECK_MSG(hour >= 0 && hour < 24, "hour out of range");
+  CS_CHECK_MSG(minute >= 0 && minute < 60 && minute % kSlotMinutes == 0,
+               "minute must be a non-negative multiple of 10 below 60");
+  return static_cast<std::size_t>(day) * kSlotsPerDay +
+         static_cast<std::size_t>(hour) * kSlotsPerHour +
+         static_cast<std::size_t>(minute) / kSlotMinutes;
+}
+
+std::string TimeGrid::format_time_of_day(int slot_of_day) {
+  CS_CHECK_MSG(slot_of_day >= 0 && slot_of_day < kSlotsPerDay,
+               "slot-of-day out of range");
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d", slot_of_day / kSlotsPerHour,
+                (slot_of_day % kSlotsPerHour) * kSlotMinutes);
+  return buf;
+}
+
+std::string TimeGrid::format_hour(double hour) {
+  CS_CHECK_MSG(hour >= 0.0 && hour < 24.0, "hour out of range");
+  const int slot =
+      static_cast<int>(std::lround(hour * kSlotsPerHour)) % kSlotsPerDay;
+  return format_time_of_day(slot);
+}
+
+std::vector<std::size_t> TimeGrid::weekday_slots() {
+  std::vector<std::size_t> out;
+  out.reserve(kSlots * 5 / 7);
+  for (std::size_t s = 0; s < kSlots; ++s)
+    if (is_weekday(s)) out.push_back(s);
+  return out;
+}
+
+std::vector<std::size_t> TimeGrid::weekend_slots() {
+  std::vector<std::size_t> out;
+  out.reserve(kSlots * 2 / 7);
+  for (std::size_t s = 0; s < kSlots; ++s)
+    if (!is_weekday(s)) out.push_back(s);
+  return out;
+}
+
+}  // namespace cellscope

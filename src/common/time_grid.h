@@ -1,0 +1,63 @@
+// The measurement time grid used throughout the paper.
+//
+// The paper aggregates one month of logs into 10-minute slots and trims the
+// month to exactly four whole weeks, so every traffic vector has
+// N = 28 * 144 = 4032 entries. The trace starts on a Monday (the paper's
+// weekly plots start Mon Aug 4 2014). This header centralizes all slot
+// arithmetic: slot <-> (day, hour, minute), weekday/weekend masks, and
+// pretty-printing of times.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cellscope {
+
+/// Grid constants (paper §3.2: N = 4032).
+struct TimeGrid {
+  static constexpr int kSlotMinutes = 10;
+  static constexpr int kSlotsPerHour = 60 / kSlotMinutes;        // 6
+  static constexpr int kSlotsPerDay = 24 * kSlotsPerHour;        // 144
+  static constexpr int kDaysPerWeek = 7;
+  static constexpr int kWeeks = 4;
+  static constexpr int kDays = kWeeks * kDaysPerWeek;            // 28
+  static constexpr int kSlotsPerWeek = kDaysPerWeek * kSlotsPerDay;  // 1008
+  static constexpr std::size_t kSlots =
+      static_cast<std::size_t>(kDays) * kSlotsPerDay;            // 4032
+
+  /// Day index (0..27) of a slot. Day 0 is a Monday.
+  static int day(std::size_t slot);
+
+  /// Day-of-week (0 = Monday .. 6 = Sunday).
+  static int day_of_week(std::size_t slot);
+
+  /// True for Monday..Friday slots.
+  static bool is_weekday(std::size_t slot);
+
+  /// Slot index within its day (0..143).
+  static int slot_of_day(std::size_t slot);
+
+  /// Slot index within its week (0..1007).
+  static int slot_of_week(std::size_t slot);
+
+  /// Hour-of-day as a real number in [0, 24), e.g. 21.5 for 21:30.
+  static double hour_of_day(std::size_t slot);
+
+  /// Absolute slot from (day, hour, minute). Minute must be a multiple of 10.
+  static std::size_t slot_at(int day, int hour, int minute);
+
+  /// Formats the slot-of-day as "HH:MM".
+  static std::string format_time_of_day(int slot_of_day);
+
+  /// Formats an hour-of-day value (e.g. 21.5) as "HH:MM", rounded to 10 min.
+  static std::string format_hour(double hour);
+
+  /// Indices of all weekday slots (Mon-Fri) in [0, kSlots).
+  static std::vector<std::size_t> weekday_slots();
+
+  /// Indices of all weekend slots (Sat-Sun) in [0, kSlots).
+  static std::vector<std::size_t> weekend_slots();
+};
+
+}  // namespace cellscope

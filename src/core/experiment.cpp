@@ -1,0 +1,137 @@
+#include "core/experiment.h"
+
+#include "analysis/poi_features.h"
+#include "common/error.h"
+#include "ml/distance.h"
+#include "pipeline/vectorizer.h"
+
+namespace cellscope {
+
+Experiment Experiment::run(const ExperimentConfig& config) {
+  CS_CHECK_MSG(config.n_towers >= 20,
+               "experiments need at least 20 towers to cluster meaningfully");
+  CS_CHECK_MSG(config.k_min >= 2 && config.k_min <= config.k_max,
+               "invalid DBI sweep bounds");
+
+  Experiment e;
+  e.config_ = config;
+
+  // 1. City and towers.
+  e.city_ = std::make_unique<CityModel>(CityModel::create_default(config.seed));
+  DeploymentOptions deployment;
+  deployment.n_towers = config.n_towers;
+  deployment.seed = config.seed ^ 0xD1B54A32D192ED03ULL;
+  e.towers_ = deploy_towers(*e.city_, deployment);
+
+  // 2. Latent intensity models, then POIs conditioned on traffic mixtures.
+  IntensityOptions intensity = config.intensity;
+  intensity.seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
+  e.intensity_ = std::make_unique<IntensityModel>(
+      IntensityModel::create(e.towers_, intensity));
+  PoiGenerationOptions poi_options;
+  poi_options.scale = config.poi_scale;
+  poi_options.seed = config.seed ^ 0xBF58476D1CE4E5B9ULL;
+  e.pois_ = std::make_unique<PoiDatabase>(PoiDatabase::generate(
+      *e.city_, e.towers_, e.intensity_->mixtures(), poi_options));
+
+  // 3-4. Traffic matrix and normalization.
+  e.matrix_ = vectorize_intensity(e.towers_, *e.intensity_,
+                                  config.seed ^ 0x94D049BB133111EBULL);
+  e.zscored_ = zscore_rows(e.matrix_);
+
+  // 5. Clustering + metric tuner. Distances are computed on the mean-week
+  // fold when configured (DESIGN.md §5.2); the DBI sweep uses the same
+  // representation the dendrogram was built on.
+  std::vector<std::vector<double>> folded_storage;
+  const std::vector<std::vector<double>>* cluster_input = &e.zscored_;
+  if (config.fold_weekly) {
+    folded_storage = fold_to_week(e.zscored_);
+    cluster_input = &folded_storage;
+  }
+  e.dendrogram_ = std::make_unique<Dendrogram>(Dendrogram::run(
+      DistanceMatrix::compute(*cluster_input), Linkage::kAverage));
+  const auto min_cluster_size = static_cast<std::size_t>(
+      std::max(2.0, config.min_cluster_fraction *
+                        static_cast<double>(config.n_towers)));
+  e.sweep_ = dbi_sweep(*e.dendrogram_, *cluster_input, config.k_min,
+                       std::min(config.k_max, config.n_towers - 1),
+                       min_cluster_size);
+  e.chosen_ = best_cut(e.sweep_);
+  e.labels_ = e.dendrogram_->cut_k(e.chosen_.k);
+
+  // 6. POI labeling + validation.
+  e.poi_counts_ = poi_counts_for_towers(*e.pois_, e.towers_);
+  const auto normalized = normalized_poi_by_cluster(e.poi_counts_, e.labels_);
+  e.labeling_ = label_clusters_by_poi(normalized);
+  std::vector<std::size_t> row_tower(e.matrix_.n());
+  for (std::size_t i = 0; i < row_tower.size(); ++i) row_tower[i] = i;
+  e.validation_ = validate_labels(e.labels_, e.labeling_, row_tower,
+                                  e.towers_);
+  return e;
+}
+
+std::optional<std::size_t> Experiment::cluster_of_region(
+    FunctionalRegion region) const {
+  for (std::size_t c = 0; c < labeling_.region_of_cluster.size(); ++c)
+    if (labeling_.region_of_cluster[c] == region) return c;
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Experiment::rows_of_cluster(
+    std::size_t cluster) const {
+  CS_CHECK_MSG(cluster < n_clusters(), "cluster index out of range");
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < labels_.size(); ++i)
+    if (static_cast<std::size_t>(labels_[i]) == cluster) rows.push_back(i);
+  return rows;
+}
+
+std::vector<double> Experiment::cluster_aggregate(std::size_t cluster) const {
+  return aggregate_series(matrix_, rows_of_cluster(cluster));
+}
+
+std::vector<double> Experiment::region_aggregate(
+    FunctionalRegion region) const {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const auto c = static_cast<std::size_t>(labels_[i]);
+    if (labeling_.region_of_cluster[c] == region) rows.push_back(i);
+  }
+  CS_CHECK_MSG(!rows.empty(), "no towers labeled with region " +
+                                  region_name(region));
+  return aggregate_series(matrix_, rows);
+}
+
+std::vector<double> Experiment::total_aggregate() const {
+  return aggregate_series(matrix_);
+}
+
+const std::vector<FreqFeatures>& Experiment::freq_features() const {
+  if (!freq_features_)
+    freq_features_ = compute_freq_features(zscored_);
+  return *freq_features_;
+}
+
+const std::array<std::size_t, 4>& Experiment::representatives() const {
+  if (!representatives_) {
+    const auto& features = freq_features();
+    std::vector<std::array<double, 3>> qp_features;
+    qp_features.reserve(features.size());
+    for (const auto& f : features) qp_features.push_back(f.qp_feature());
+
+    std::array<std::size_t, 4> reps{};
+    for (int r = 0; r < 4; ++r) {
+      const auto cluster =
+          cluster_of_region(static_cast<FunctionalRegion>(r));
+      CS_CHECK_MSG(cluster.has_value(),
+                   "pure region has no cluster: " +
+                       region_name(static_cast<FunctionalRegion>(r)));
+      reps[r] = find_representative(qp_features, labels_,
+                                    static_cast<int>(*cluster));
+    }
+    representatives_ = reps;
+  }
+  return *representatives_;
+}
+
+}  // namespace cellscope

@@ -1,0 +1,127 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_radix2_inplace(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  CS_CHECK_MSG(is_power_of_two(n), "radix-2 FFT needs a power-of-two size");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+namespace {
+
+/// Bluestein's algorithm: exact DFT of arbitrary length N as a circular
+/// convolution of length M = next power of two >= 2N-1.
+std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
+  const std::size_t n = input.size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp b[k] = e^{sign * iπ k² / n}; compute k² mod 2n to avoid the
+  // precision loss of huge k² arguments.
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = sign * M_PI * static_cast<double>(k2) /
+                         static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  std::size_t m = 1;
+  while (m < 2 * n - 1) m <<= 1;
+
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+  for (std::size_t k = 0; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    if (k != 0) b[m - k] = std::conj(chirp[k]);
+  }
+
+  fft_radix2_inplace(a, false);
+  fft_radix2_inplace(b, false);
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  fft_radix2_inplace(a, true);
+
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  if (inverse) {
+    for (auto& x : out) x /= static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Complex> fft(std::span<const Complex> input, bool inverse) {
+  CS_CHECK_MSG(!input.empty(), "fft of empty input");
+  if (is_power_of_two(input.size())) {
+    std::vector<Complex> a(input.begin(), input.end());
+    fft_radix2_inplace(a, inverse);
+    return a;
+  }
+  return bluestein(input, inverse);
+}
+
+std::vector<Complex> fft_real(std::span<const double> input) {
+  std::vector<Complex> c(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) c[i] = Complex(input[i], 0.0);
+  return fft(c, false);
+}
+
+std::vector<double> inverse_fft_real(std::span<const Complex> spectrum) {
+  const auto complex_out = fft(spectrum, true);
+  std::vector<double> out(complex_out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = complex_out[i].real();
+  return out;
+}
+
+std::vector<Complex> naive_dft(std::span<const Complex> input, bool inverse) {
+  CS_CHECK_MSG(!input.empty(), "dft of empty input");
+  const std::size_t n = input.size();
+  const double sign = inverse ? 2.0 : -2.0;
+  std::vector<Complex> out(n, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * M_PI * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      out[k] += input[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  if (inverse) {
+    for (auto& x : out) x /= static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace cellscope

@@ -1,0 +1,43 @@
+// Fast Fourier transforms.
+//
+// The paper's frequency analysis (§5.1) runs a DFT over 4032-sample traffic
+// vectors. 4032 is not a power of two, so alongside the iterative radix-2
+// FFT we implement Bluestein's chirp-z algorithm, which computes an exact
+// DFT of arbitrary length via a power-of-two convolution. A naive O(N²)
+// DFT is provided as the test oracle.
+//
+// Convention: forward transform X[k] = sum_n x[n] e^{-2πikn/N} (no
+// scaling); inverse divides by N, so inverse(forward(x)) == x.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace cellscope {
+
+using Complex = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// In-place iterative radix-2 FFT; size must be a power of two.
+/// `inverse` applies the conjugate transform and divides by N.
+void fft_radix2_inplace(std::vector<Complex>& a, bool inverse);
+
+/// DFT of arbitrary length: radix-2 when possible, Bluestein otherwise.
+std::vector<Complex> fft(std::span<const Complex> input,
+                         bool inverse = false);
+
+/// Forward DFT of a real series.
+std::vector<Complex> fft_real(std::span<const double> input);
+
+/// Inverse DFT returning the real parts (valid when the spectrum is
+/// conjugate-symmetric, as reconstructions here always are).
+std::vector<double> inverse_fft_real(std::span<const Complex> spectrum);
+
+/// O(N²) reference DFT (test oracle; do not use at scale).
+std::vector<Complex> naive_dft(std::span<const Complex> input,
+                               bool inverse = false);
+
+}  // namespace cellscope

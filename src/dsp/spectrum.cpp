@@ -1,0 +1,69 @@
+#include "dsp/spectrum.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+Spectrum::Spectrum(std::span<const double> series)
+    : coefficients_(fft_real(series)) {}
+
+const Complex& Spectrum::coefficient(std::size_t k) const {
+  CS_CHECK_MSG(k < coefficients_.size(), "frequency index out of range");
+  return coefficients_[k];
+}
+
+double Spectrum::amplitude(std::size_t k) const {
+  return std::abs(coefficient(k));
+}
+
+double Spectrum::normalized_amplitude(std::size_t k) const {
+  return 2.0 * amplitude(k) / static_cast<double>(size());
+}
+
+double Spectrum::phase(std::size_t k) const {
+  return std::arg(coefficient(k));
+}
+
+std::vector<double> Spectrum::amplitudes() const {
+  std::vector<double> out(size());
+  for (std::size_t k = 0; k < size(); ++k) out[k] = std::abs(coefficients_[k]);
+  return out;
+}
+
+std::vector<double> Spectrum::reconstruct(
+    std::span<const std::size_t> keep) const {
+  const std::size_t n = size();
+  std::vector<Complex> masked(n, Complex(0.0, 0.0));
+  masked[0] = coefficients_[0];  // DC
+  for (const std::size_t k : keep) {
+    CS_CHECK_MSG(k < n, "frequency index out of range");
+    masked[k] = coefficients_[k];
+    if (k != 0) masked[n - k] = coefficients_[n - k];  // conjugate mirror
+  }
+  return inverse_fft_real(masked);
+}
+
+std::vector<double> Spectrum::reconstruct_principal() const {
+  const std::size_t keep[] = {kWeeklyComponent, kDailyComponent,
+                              kHalfDailyComponent};
+  return reconstruct(keep);
+}
+
+double signal_energy(std::span<const double> series) {
+  double e = 0.0;
+  for (const double x : series) e += x * x;
+  return e;
+}
+
+double energy_loss(std::span<const double> original,
+                   std::span<const double> reconstructed) {
+  CS_CHECK_MSG(original.size() == reconstructed.size(),
+               "series must have equal length");
+  const double e = signal_energy(original);
+  CS_CHECK_MSG(e > 0.0, "original series has zero energy");
+  return std::fabs(e - signal_energy(reconstructed)) / e;
+}
+
+}  // namespace cellscope

@@ -1,0 +1,69 @@
+// Traffic frequency spectra and principal-component reconstruction.
+//
+// The paper (§5.1) observes that the aggregate traffic DFT has three
+// dominant components — k = 4 (one week), k = 28 (one day), k = 56 (half a
+// day) over the 4-week / 4032-sample grid — and that reconstructing from
+// just these (plus DC and conjugates) loses under 6 % of signal energy.
+// This module wraps the FFT with those operations: amplitude/phase
+// extraction, band-limited reconstruction, and energy-loss accounting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace cellscope {
+
+/// The paper's three principal frequency indices on the 4032-slot grid.
+inline constexpr std::size_t kWeeklyComponent = 4;     ///< period = 1 week
+inline constexpr std::size_t kDailyComponent = 28;     ///< period = 1 day
+inline constexpr std::size_t kHalfDailyComponent = 56; ///< period = 1/2 day
+
+/// The DFT of one traffic series with amplitude/phase accessors.
+class Spectrum {
+ public:
+  /// Forward-transforms the series (any length >= 1).
+  explicit Spectrum(std::span<const double> series);
+
+  /// Raw DFT coefficient (k < size).
+  const Complex& coefficient(std::size_t k) const;
+
+  /// |X[k]| — raw amplitude.
+  double amplitude(std::size_t k) const;
+
+  /// 2|X[k]|/N — amplitude in the units of the time series (a pure
+  /// sinusoid a·cos(...) yields `a` at its frequency). Used for the
+  /// Fig. 15/16 features.
+  double normalized_amplitude(std::size_t k) const;
+
+  /// arg X[k] in (-π, π].
+  double phase(std::size_t k) const;
+
+  /// Series length N.
+  std::size_t size() const { return coefficients_.size(); }
+
+  /// Full raw amplitude spectrum (|X[k]| for all k).
+  std::vector<double> amplitudes() const;
+
+  /// Reconstructs the time series keeping only the given frequency
+  /// indices, their conjugate mirrors, and DC — the paper's Xr (§5.1).
+  std::vector<double> reconstruct(std::span<const std::size_t> keep) const;
+
+  /// Reconstruction from the paper's three principal components.
+  std::vector<double> reconstruct_principal() const;
+
+ private:
+  std::vector<Complex> coefficients_;
+};
+
+/// Total signal energy sum x[n]².
+double signal_energy(std::span<const double> series);
+
+/// Relative energy loss |E(x) - E(xr)| / E(x) of a reconstruction
+/// (the paper reports < 6 % for the principal reconstruction).
+double energy_loss(std::span<const double> original,
+                   std::span<const double> reconstructed);
+
+}  // namespace cellscope

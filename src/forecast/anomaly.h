@@ -1,0 +1,67 @@
+// Traffic anomaly detection.
+//
+// A direct application of the pattern model: once a tower's expected
+// weekly shape is known, deviations flag events — a flash crowd at an
+// entertainment tower, an outage, a misbehaving logger. The detector
+// estimates a per-slot-of-week mean and dispersion from history and
+// scores each new observation as a robust z-score; runs of high scores
+// are merged into anomaly intervals.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cellscope {
+
+/// One detected anomaly interval.
+struct Anomaly {
+  std::size_t begin_slot = 0;  ///< index into the scored series
+  std::size_t end_slot = 0;    ///< exclusive
+  double peak_score = 0.0;     ///< largest |z| in the interval
+  bool is_surge = true;        ///< traffic above (true) or below model
+};
+
+/// Detector options.
+struct AnomalyOptions {
+  /// |z|-score threshold to open an interval.
+  double threshold = 4.0;
+  /// Slots the score may dip below threshold without closing the interval
+  /// (bridges brief returns to normal inside one event).
+  std::size_t gap_tolerance = 2;
+  /// Dispersion floor as a fraction of the slot mean, guarding slots
+  /// whose history happened to be near-constant.
+  double min_relative_sigma = 0.05;
+  /// Minimum interval length in slots. Physical events span multiple
+  /// 10-minute slots; single-slot exceedances are sampling noise (with
+  /// ~1000 slots per scored week, a 4-sigma spike occurs by chance).
+  std::size_t min_duration = 2;
+};
+
+/// A per-slot-of-week traffic model fitted from history.
+class TrafficAnomalyDetector {
+ public:
+  /// Fits slot-of-week means and standard deviations. The history must
+  /// cover at least two full weeks (one dispersion sample per slot).
+  explicit TrafficAnomalyDetector(std::span<const double> history);
+  TrafficAnomalyDetector(std::span<const double> history,
+                         AnomalyOptions options);
+
+  /// Z-score of each observation in a series that *continues* the history
+  /// (slot phase continues where history ended).
+  std::vector<double> score(std::span<const double> series) const;
+
+  /// Merged anomaly intervals in the series.
+  std::vector<Anomaly> detect(std::span<const double> series) const;
+
+  /// Fitted per-slot-of-week means (1008 values).
+  const std::vector<double>& slot_means() const { return means_; }
+
+ private:
+  AnomalyOptions options_;
+  std::vector<double> means_;
+  std::vector<double> sigmas_;
+  std::size_t phase_ = 0;  ///< slot-of-week where scoring starts
+};
+
+}  // namespace cellscope

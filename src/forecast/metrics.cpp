@@ -1,0 +1,61 @@
+#include "forecast/metrics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace cellscope {
+
+namespace {
+void check_inputs(std::span<const double> actual,
+                  std::span<const double> predicted) {
+  CS_CHECK_MSG(actual.size() == predicted.size() && !actual.empty(),
+               "metrics need equal-length non-empty series");
+}
+}  // namespace
+
+double mean_absolute_error(std::span<const double> actual,
+                           std::span<const double> predicted) {
+  check_inputs(actual, predicted);
+  double total = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    total += std::fabs(actual[i] - predicted[i]);
+  return total / static_cast<double>(actual.size());
+}
+
+double root_mean_squared_error(std::span<const double> actual,
+                               std::span<const double> predicted) {
+  check_inputs(actual, predicted);
+  double total = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = actual[i] - predicted[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(actual.size()));
+}
+
+double smape(std::span<const double> actual,
+             std::span<const double> predicted) {
+  check_inputs(actual, predicted);
+  double total = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double denom = std::fabs(actual[i]) + std::fabs(predicted[i]);
+    if (denom > 0.0)
+      total += 2.0 * std::fabs(actual[i] - predicted[i]) / denom;
+  }
+  return total / static_cast<double>(actual.size());
+}
+
+double mae_skill_vs_mean(std::span<const double> actual,
+                         std::span<const double> predicted) {
+  check_inputs(actual, predicted);
+  const double m = mean(actual);
+  double baseline = 0.0;
+  for (const double a : actual) baseline += std::fabs(a - m);
+  baseline /= static_cast<double>(actual.size());
+  CS_CHECK_MSG(baseline > 0.0, "constant actual series has no skill scale");
+  return mean_absolute_error(actual, predicted) / baseline;
+}
+
+}  // namespace cellscope

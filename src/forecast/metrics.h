@@ -1,0 +1,30 @@
+// Forecast accuracy metrics.
+//
+// Shared by the forecasting extension (the paper's motivating ISP use
+// case: "mobile users ... can choose towers with predicted lower traffic
+// and enjoy better services", §1).
+#pragma once
+
+#include <span>
+
+namespace cellscope {
+
+/// Mean absolute error. Inputs must be equal-length and non-empty.
+double mean_absolute_error(std::span<const double> actual,
+                           std::span<const double> predicted);
+
+/// Root mean squared error.
+double root_mean_squared_error(std::span<const double> actual,
+                               std::span<const double> predicted);
+
+/// Symmetric mean absolute percentage error in [0, 2]; robust to zeros
+/// (slots where both actual and predicted are zero contribute zero).
+double smape(std::span<const double> actual,
+             std::span<const double> predicted);
+
+/// MAE of `predicted` divided by the MAE of the per-series-mean constant
+/// predictor — < 1 means the forecast beats the trivial baseline.
+double mae_skill_vs_mean(std::span<const double> actual,
+                         std::span<const double> predicted);
+
+}  // namespace cellscope

@@ -1,0 +1,29 @@
+#include "forecast/seasonal_naive.h"
+
+#include "common/error.h"
+#include "common/time_grid.h"
+
+namespace cellscope {
+
+std::vector<double> seasonal_naive_forecast(std::span<const double> history,
+                                            std::size_t horizon) {
+  CS_CHECK_MSG(history.size() >= static_cast<std::size_t>(TimeGrid::kSlotsPerDay),
+               "seasonal-naive needs at least one day of history");
+  const std::size_t season =
+      history.size() >= static_cast<std::size_t>(TimeGrid::kSlotsPerWeek)
+          ? TimeGrid::kSlotsPerWeek
+          : TimeGrid::kSlotsPerDay;
+
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    // Index of the same slot one (or more) season(s) earlier, entirely
+    // within history.
+    std::size_t t = history.size() + h;
+    while (t >= history.size()) t -= season;
+    out.push_back(history[t]);
+  }
+  return out;
+}
+
+}  // namespace cellscope

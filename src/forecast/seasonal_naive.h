@@ -1,0 +1,19 @@
+// Seasonal-naive forecasting baseline.
+//
+// Predicts each future slot with the value observed one season earlier —
+// one week back when enough history exists, else one day back. The
+// yardstick every smarter forecaster must beat.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cellscope {
+
+/// Forecasts `horizon` slots following `history` (10-minute slots).
+/// Requires at least one day of history.
+std::vector<double> seasonal_naive_forecast(std::span<const double> history,
+                                            std::size_t horizon);
+
+}  // namespace cellscope

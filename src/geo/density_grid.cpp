@@ -1,0 +1,73 @@
+#include "geo/density_grid.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+DensityGrid::DensityGrid(const BoundingBox& box, std::size_t rows,
+                         std::size_t cols)
+    : box_(box), rows_(rows), cols_(cols), cells_(rows * cols, 0.0) {
+  CS_CHECK_MSG(rows >= 1 && cols >= 1, "grid must have at least one cell");
+  CS_CHECK_MSG(box.lat_max > box.lat_min && box.lon_max > box.lon_min,
+               "bounding box must be non-degenerate");
+}
+
+void DensityGrid::add(const LatLon& p, double amount) {
+  if (!box_.contains(p)) return;
+  cells_[row_of(p.lat) * cols_ + col_of(p.lon)] += amount;
+}
+
+double DensityGrid::value_at(std::size_t row, std::size_t col) const {
+  CS_CHECK_MSG(row < rows_ && col < cols_, "cell index out of range");
+  return cells_[row * cols_ + col];
+}
+
+double DensityGrid::density_at(std::size_t row, std::size_t col) const {
+  return value_at(row, col) / cell_area_km2();
+}
+
+double DensityGrid::cell_area_km2() const {
+  return box_.area_km2() / static_cast<double>(rows_ * cols_);
+}
+
+std::size_t DensityGrid::row_of(double lat) const {
+  const double f = (lat - box_.lat_min) / (box_.lat_max - box_.lat_min);
+  const auto r = static_cast<std::ptrdiff_t>(f * static_cast<double>(rows_));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(r, 0, static_cast<std::ptrdiff_t>(rows_) - 1));
+}
+
+std::size_t DensityGrid::col_of(double lon) const {
+  const double f = (lon - box_.lon_min) / (box_.lon_max - box_.lon_min);
+  const auto c = static_cast<std::ptrdiff_t>(f * static_cast<double>(cols_));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(c, 0, static_cast<std::ptrdiff_t>(cols_) - 1));
+}
+
+LatLon DensityGrid::cell_center(std::size_t row, std::size_t col) const {
+  CS_CHECK_MSG(row < rows_ && col < cols_, "cell index out of range");
+  const double dlat = (box_.lat_max - box_.lat_min) / static_cast<double>(rows_);
+  const double dlon = (box_.lon_max - box_.lon_min) / static_cast<double>(cols_);
+  return {box_.lat_min + (static_cast<double>(row) + 0.5) * dlat,
+          box_.lon_min + (static_cast<double>(col) + 0.5) * dlon};
+}
+
+double DensityGrid::total() const {
+  double s = 0.0;
+  for (const double v : cells_) s += v;
+  return s;
+}
+
+DensityGrid::Peak DensityGrid::peak() const {
+  Peak p;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (cells_[r * cols_ + c] > p.value) p = {r, c, cells_[r * cols_ + c]};
+  return p;
+}
+
+void DensityGrid::clear() { std::fill(cells_.begin(), cells_.end(), 0.0); }
+
+}  // namespace cellscope

@@ -1,0 +1,71 @@
+// Rasterized per-km² quantities over the study area.
+//
+// The paper's preprocessing computes traffic density (bytes/km²) across the
+// city and renders it as heatmaps at several times of day (Fig. 2); the
+// same grid also renders the per-cluster tower-density maps of Fig. 7.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/latlon.h"
+
+namespace cellscope {
+
+/// A rows × cols raster over a bounding box accumulating a scalar quantity
+/// (bytes, tower counts, ...) per cell, with per-km² readout.
+class DensityGrid {
+ public:
+  /// Creates an empty grid. rows, cols >= 1; the box must be non-degenerate.
+  DensityGrid(const BoundingBox& box, std::size_t rows, std::size_t cols);
+
+  /// Adds `amount` to the cell containing `p`; points outside the box are
+  /// ignored (the paper's maps clip to the city extent).
+  void add(const LatLon& p, double amount);
+
+  /// Raw accumulated value of a cell.
+  double value_at(std::size_t row, std::size_t col) const;
+
+  /// Accumulated value divided by the cell area (per-km² density).
+  double density_at(std::size_t row, std::size_t col) const;
+
+  /// Cell area in km² (identical for all cells under the planar
+  /// approximation).
+  double cell_area_km2() const;
+
+  /// Row index for a latitude (clamped); col index for a longitude.
+  std::size_t row_of(double lat) const;
+  std::size_t col_of(double lon) const;
+
+  /// Geographic center of a cell.
+  LatLon cell_center(std::size_t row, std::size_t col) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const BoundingBox& box() const { return box_; }
+
+  /// Sum over all cells.
+  double total() const;
+
+  /// Largest cell value and its location.
+  struct Peak {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    double value = 0.0;
+  };
+  Peak peak() const;
+
+  /// Dense row-major copy of the raw values (for rendering/export).
+  std::vector<double> values() const { return cells_; }
+
+  /// Resets all cells to zero.
+  void clear();
+
+ private:
+  BoundingBox box_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> cells_;  // row-major
+};
+
+}  // namespace cellscope

@@ -1,0 +1,79 @@
+// Simulated geocoding service.
+//
+// The paper resolves base-station street addresses to coordinates through
+// the Baidu Map API (§2.2). That service is unavailable offline, so this
+// module provides a faithful stand-in (DESIGN.md §2): a deterministic
+// address scheme ("District-D/Street-S/No-N", which quantizes the city to a
+// ~10 m grid) plus a Geocoder service object with the operational traits of
+// a remote API — per-query accounting, an LRU-less result cache, and an
+// optional daily quota that makes over-use observable in tests.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "geo/latlon.h"
+
+namespace cellscope {
+
+/// Deterministic two-way mapping between coordinates and synthetic street
+/// addresses over a bounding box.
+class AddressCodec {
+ public:
+  explicit AddressCodec(const BoundingBox& box);
+
+  /// Formats a point as "District-D/Street-S/No-N". The encoding quantizes
+  /// to roughly 10 m; decode(encode(p)) is within that tolerance of p.
+  std::string encode(const LatLon& p) const;
+
+  /// Parses an address back to coordinates; returns std::nullopt for
+  /// malformed addresses (the cleaner drops such logs).
+  std::optional<LatLon> decode(const std::string& address) const;
+
+ private:
+  BoundingBox box_;
+  // District: coarse grid; street: finer; number: finest. The product of
+  // the three grid levels yields the ~10 m resolution.
+  static constexpr int kDistricts = 32;     // per axis
+  static constexpr int kStreets = 64;       // per district, per axis
+  static constexpr int kNumbers = 64;       // per street cell, per axis
+};
+
+/// Geocoding service façade with cache, accounting and quota.
+class Geocoder {
+ public:
+  struct Options {
+    /// Maximum number of *uncached* lookups allowed (0 = unlimited),
+    /// mirroring commercial API daily quotas.
+    std::size_t quota = 0;
+  };
+
+  explicit Geocoder(const BoundingBox& box) : Geocoder(box, Options{}) {}
+  Geocoder(const BoundingBox& box, Options options);
+
+  /// Resolves an address. Returns std::nullopt for malformed addresses.
+  /// Throws cellscope::Error if the quota is exhausted (cache hits are
+  /// always free, as with the real API's client-side cache).
+  std::optional<LatLon> geocode(const std::string& address);
+
+  /// Formats coordinates as an address (the generator uses this to label
+  /// synthetic base stations, playing the role of the ISP's address field).
+  std::string reverse_geocode(const LatLon& p) const;
+
+  /// Uncached lookups performed so far.
+  std::size_t api_calls() const { return api_calls_; }
+
+  /// Lookups served from the cache.
+  std::size_t cache_hits() const { return cache_hits_; }
+
+ private:
+  AddressCodec codec_;
+  Options options_;
+  std::unordered_map<std::string, std::optional<LatLon>> cache_;
+  std::size_t api_calls_ = 0;
+  std::size_t cache_hits_ = 0;
+};
+
+}  // namespace cellscope

@@ -1,0 +1,73 @@
+// In-process MapReduce engine.
+//
+// Substitute for the Hadoop platform the paper's traffic vectorizer runs on
+// (§3.2): inputs are split into chunks, mapped in parallel into per-worker
+// (key, value) stores with an associative combiner (Hadoop's combiner
+// optimization), and the partial stores are merged into the final result.
+// Deterministic whenever the combiner is commutative and associative —
+// which sum-style traffic aggregation is.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "mapred/thread_pool.h"
+
+namespace cellscope {
+
+/// Configuration of one MapReduce run.
+struct MapReduceOptions {
+  /// Inputs per map chunk (Hadoop split size at miniature scale).
+  std::size_t chunk_size = 16384;
+};
+
+/// Runs map-combine-merge over `inputs`.
+///
+/// `map_fn(input, emit)` is called once per input and may emit any number
+/// of (key, value) pairs. `combine_fn(accumulator, value)` folds a value
+/// into an accumulator; it must be commutative and associative for the
+/// result to be independent of scheduling. Returns the merged store.
+template <typename Input, typename K, typename V, typename MapFn,
+          typename CombineFn>
+std::unordered_map<K, V> map_reduce(std::span<const Input> inputs,
+                                    ThreadPool& pool, MapFn map_fn,
+                                    CombineFn combine_fn,
+                                    const MapReduceOptions& options = {}) {
+  CS_CHECK_MSG(options.chunk_size >= 1, "chunk size must be >= 1");
+  const std::size_t n_chunks =
+      inputs.empty() ? 0 : (inputs.size() + options.chunk_size - 1) /
+                               options.chunk_size;
+
+  std::vector<std::unordered_map<K, V>> partials(n_chunks);
+  pool.parallel_for(n_chunks, [&](std::size_t c) {
+    auto& local = partials[c];
+    const std::size_t begin = c * options.chunk_size;
+    const std::size_t end =
+        std::min(inputs.size(), begin + options.chunk_size);
+    auto emit = [&](const K& key, V value) {
+      auto [it, inserted] = local.try_emplace(key, value);
+      if (!inserted) combine_fn(it->second, std::move(value));
+    };
+    for (std::size_t i = begin; i < end; ++i) map_fn(inputs[i], emit);
+  });
+
+  // Merge phase (the "reduce" of our sum-style jobs *is* the combiner).
+  std::unordered_map<K, V> merged;
+  for (auto& partial : partials) {
+    if (merged.empty()) {
+      merged = std::move(partial);
+      continue;
+    }
+    for (auto& [key, value] : partial) {
+      auto [it, inserted] = merged.try_emplace(key, value);
+      if (!inserted) combine_fn(it->second, std::move(value));
+    }
+  }
+  return merged;
+}
+
+}  // namespace cellscope

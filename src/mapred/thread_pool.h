@@ -1,0 +1,56 @@
+// A fixed-size worker thread pool.
+//
+// Backbone of the in-process MapReduce engine that substitutes for the
+// paper's Hadoop platform (DESIGN.md §2). Tasks are arbitrary callables;
+// parallel_for partitions an index range over the workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cellscope {
+
+/// Fixed-size thread pool with task futures and a blocking parallel_for.
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t n_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves when it completes (exceptions
+  /// propagate through the future).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous blocks across
+  /// the workers; blocks until every call finished. The first exception
+  /// thrown by any fn(i) is rethrown here.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// A sensible default worker count for this machine (at least 2 so the
+/// MapReduce path is genuinely concurrent even on single-core CI).
+std::size_t default_thread_count();
+
+}  // namespace cellscope

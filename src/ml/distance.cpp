@@ -1,0 +1,56 @@
+#include "ml/distance.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace cellscope {
+
+DistanceMatrix DistanceMatrix::compute(
+    const std::vector<std::vector<double>>& points) {
+  const std::size_t n = points.size();
+  CS_CHECK_MSG(n >= 2, "distance matrix needs at least two points");
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points)
+    CS_CHECK_MSG(p.size() == dim, "all points must have equal dimension");
+
+  std::vector<float> condensed;
+  condensed.resize(n * (n - 1) / 2);
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      condensed[idx++] =
+          static_cast<float>(euclidean_distance(points[i], points[j]));
+    }
+  }
+  return DistanceMatrix(n, std::move(condensed));
+}
+
+DistanceMatrix::DistanceMatrix(std::size_t n, std::vector<float> condensed)
+    : n_(n), condensed_(std::move(condensed)) {
+  CS_CHECK_MSG(n >= 2, "distance matrix needs n >= 2");
+  CS_CHECK_MSG(condensed_.size() == n * (n - 1) / 2,
+               "condensed storage must have n(n-1)/2 entries");
+}
+
+std::size_t DistanceMatrix::index_of(std::size_t i, std::size_t j) const {
+  CS_CHECK_MSG(i < n_ && j < n_ && i != j, "invalid index pair");
+  if (i > j) std::swap(i, j);
+  // Offset of row i in the condensed upper triangle.
+  return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+}
+
+double DistanceMatrix::operator()(std::size_t i, std::size_t j) const {
+  if (i == j) {
+    CS_CHECK_MSG(i < n_, "index out of range");
+    return 0.0;
+  }
+  return condensed_[index_of(i, j)];
+}
+
+void DistanceMatrix::set(std::size_t i, std::size_t j, double d) {
+  condensed_[index_of(i, j)] = static_cast<float>(d);
+}
+
+}  // namespace cellscope

@@ -1,0 +1,41 @@
+// Condensed pairwise Euclidean distance matrix.
+//
+// Hierarchical clustering over thousands of towers needs all pairwise
+// distances; the condensed (upper-triangle) float layout halves memory and
+// keeps the paper's 9,600-tower scale within laptop RAM (DESIGN.md §5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cellscope {
+
+/// Symmetric zero-diagonal distance matrix stored as the condensed upper
+/// triangle in float precision.
+class DistanceMatrix {
+ public:
+  /// Computes all pairwise Euclidean distances between rows of `points`
+  /// (equal-length rows, n >= 2).
+  static DistanceMatrix compute(
+      const std::vector<std::vector<double>>& points);
+
+  /// Builds from explicit entries; `condensed` must have n(n-1)/2 values
+  /// laid out row-major (d(0,1), d(0,2), ..., d(1,2), ...).
+  DistanceMatrix(std::size_t n, std::vector<float> condensed);
+
+  /// Distance between items i and j (0 when i == j).
+  double operator()(std::size_t i, std::size_t j) const;
+
+  /// Overwrites the (i, j) entry (used by linkage updates); i != j.
+  void set(std::size_t i, std::size_t j, double d);
+
+  std::size_t n() const { return n_; }
+
+ private:
+  std::size_t index_of(std::size_t i, std::size_t j) const;
+
+  std::size_t n_;
+  std::vector<float> condensed_;
+};
+
+}  // namespace cellscope

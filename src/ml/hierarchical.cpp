@@ -1,0 +1,191 @@
+#include "ml/hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+namespace {
+
+/// Union-find over leaf indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+double lance_williams(Linkage linkage, double d_ki, double d_kj,
+                      std::size_t size_i, std::size_t size_j) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::min(d_ki, d_kj);
+    case Linkage::kComplete:
+      return std::max(d_ki, d_kj);
+    case Linkage::kAverage: {
+      const double ni = static_cast<double>(size_i);
+      const double nj = static_cast<double>(size_j);
+      return (ni * d_ki + nj * d_kj) / (ni + nj);
+    }
+  }
+  throw InvalidArgument("unknown linkage");
+}
+
+}  // namespace
+
+Dendrogram Dendrogram::run(DistanceMatrix distances, Linkage linkage) {
+  const std::size_t n = distances.n();
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> size(n, 1);
+  std::vector<std::size_t> rep(n);  // smallest leaf in the cluster
+  std::iota(rep.begin(), rep.end(), std::size_t{0});
+
+  std::vector<Merge> merges;
+  merges.reserve(n - 1);
+
+  // Nearest-neighbor chain.
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t remaining = n;
+
+  auto nearest_active = [&](std::size_t i) -> std::size_t {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = n;  // sentinel
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || !active[j]) continue;
+      const double d = distances(i, j);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    return best_j;
+  };
+
+  while (remaining > 1) {
+    if (chain.empty()) {
+      // Start from the lowest-index active cluster.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+          chain.push_back(i);
+          break;
+        }
+      }
+    }
+    for (;;) {
+      const std::size_t top = chain.back();
+      const std::size_t nn = nearest_active(top);
+      CS_CHECK_MSG(nn < n, "no active neighbor found");
+      if (chain.size() >= 2 && nn == chain[chain.size() - 2]) {
+        // Reciprocal nearest neighbors: merge top and nn.
+        const std::size_t i = std::min(top, nn);
+        const std::size_t j = std::max(top, nn);
+        const double d = distances(i, j);
+        merges.push_back({std::min(rep[i], rep[j]),
+                          std::max(rep[i], rep[j]), d});
+
+        // Lance-Williams update into slot i; deactivate j.
+        for (std::size_t k = 0; k < n; ++k) {
+          if (!active[k] || k == i || k == j) continue;
+          distances.set(
+              k, i,
+              lance_williams(linkage, distances(k, i), distances(k, j),
+                             size[i], size[j]));
+        }
+        size[i] += size[j];
+        rep[i] = std::min(rep[i], rep[j]);
+        active[j] = false;
+        --remaining;
+        chain.pop_back();
+        chain.pop_back();
+        break;
+      }
+      chain.push_back(nn);
+    }
+  }
+
+  // Reducible linkages give a (numerically almost) monotone dendrogram;
+  // sort by distance for threshold/count cuts. Stability keeps equal-
+  // distance merges in construction (hence dependency-safe) order.
+  std::stable_sort(merges.begin(), merges.end(),
+                   [](const Merge& x, const Merge& y) {
+                     return x.distance < y.distance;
+                   });
+  return Dendrogram(n, std::move(merges));
+}
+
+Dendrogram::Dendrogram(std::size_t n, std::vector<Merge> merges)
+    : n_(n), merges_(std::move(merges)) {
+  CS_CHECK_MSG(merges_.size() == n_ - 1, "a dendrogram over n leaves has n-1 merges");
+}
+
+std::vector<int> Dendrogram::labels_after(std::size_t m) const {
+  CS_CHECK_MSG(m <= merges_.size(), "merge count out of range");
+  UnionFind uf(n_);
+  for (std::size_t i = 0; i < m; ++i)
+    uf.unite(merges_[i].a, merges_[i].b);
+
+  // Dense labels ordered by smallest member index.
+  std::vector<int> labels(n_, -1);
+  int next = 0;
+  std::vector<int> label_of_root(n_, -1);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t root = uf.find(i);
+    if (label_of_root[root] == -1) label_of_root[root] = next++;
+    labels[i] = label_of_root[root];
+  }
+  return labels;
+}
+
+std::vector<int> Dendrogram::cut_k(std::size_t k) const {
+  CS_CHECK_MSG(k >= 1 && k <= n_, "k must be in [1, n]");
+  return labels_after(n_ - k);
+}
+
+std::vector<int> Dendrogram::cut_threshold(double threshold) const {
+  std::size_t m = 0;
+  while (m < merges_.size() && merges_[m].distance <= threshold) ++m;
+  return labels_after(m);
+}
+
+std::size_t Dendrogram::cluster_count_at(double threshold) const {
+  std::size_t m = 0;
+  while (m < merges_.size() && merges_[m].distance <= threshold) ++m;
+  return n_ - m;
+}
+
+std::size_t num_clusters(const std::vector<int>& labels) {
+  CS_CHECK_MSG(!labels.empty(), "empty label vector");
+  int max_label = -1;
+  for (const int l : labels) {
+    CS_CHECK_MSG(l >= 0, "labels must be non-negative");
+    max_label = std::max(max_label, l);
+  }
+  return static_cast<std::size_t>(max_label) + 1;
+}
+
+std::vector<std::vector<std::size_t>> cluster_members(
+    const std::vector<int>& labels) {
+  std::vector<std::vector<std::size_t>> members(num_clusters(labels));
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    members[static_cast<std::size_t>(labels[i])].push_back(i);
+  return members;
+}
+
+}  // namespace cellscope

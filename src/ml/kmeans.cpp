@@ -1,0 +1,114 @@
+#include "ml/kmeans.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace cellscope {
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    const KMeansOptions& options) {
+  const std::size_t n = points.size();
+  const std::size_t k = options.k;
+  CS_CHECK_MSG(k >= 1, "k must be >= 1");
+  CS_CHECK_MSG(n >= k, "need at least k points");
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points)
+    CS_CHECK_MSG(p.size() == dim, "all points must have equal dimension");
+
+  Rng rng(options.seed);
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(
+      points[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))]);
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    for (std::size_t i = 0; i < n; ++i)
+      d2[i] = std::min(d2[i], squared_distance(points[i], centroids.back()));
+    double total = 0.0;
+    for (const double v : d2) total += v;
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      r -= d2[i];
+      if (r < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+
+  KMeansResult result;
+  result.labels.assign(n, 0);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(points[i], centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (result.labels[i] != best_c) {
+        result.labels[i] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+
+    // Update.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(result.labels[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the point farthest from its centroid.
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = squared_distance(
+              points[i], centroids[static_cast<std::size_t>(result.labels[i])]);
+          if (d > worst) {
+            worst = d;
+            worst_i = i;
+          }
+        }
+        centroids[c] = points[worst_i];
+        changed = true;
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d)
+        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+    }
+
+    if (!changed) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    result.inertia += squared_distance(
+        points[i], centroids[static_cast<std::size_t>(result.labels[i])]);
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace cellscope

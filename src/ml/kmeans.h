@@ -1,0 +1,30 @@
+// Lloyd's k-means with k-means++ seeding — the baseline clustering the
+// perf/ablation benches compare the paper's hierarchical identifier to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cellscope {
+
+/// K-means configuration.
+struct KMeansOptions {
+  std::size_t k = 5;
+  std::size_t max_iterations = 100;
+  std::uint64_t seed = 9;
+};
+
+/// K-means output.
+struct KMeansResult {
+  std::vector<int> labels;                       ///< dense 0..k-1
+  std::vector<std::vector<double>> centroids;    ///< [k][dim]
+  double inertia = 0.0;                          ///< sum of squared distances
+  std::size_t iterations = 0;
+};
+
+/// Clusters `points` (equal-length rows, size >= k). Deterministic in the
+/// seed. Empty clusters are re-seeded from the farthest point.
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    const KMeansOptions& options);
+
+}  // namespace cellscope

@@ -1,0 +1,178 @@
+#include "ml/validity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace cellscope {
+
+std::vector<std::vector<double>> cluster_centroids(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<int>& labels) {
+  CS_CHECK_MSG(points.size() == labels.size() && !points.empty(),
+               "points and labels must match and be non-empty");
+  const std::size_t k = num_clusters(labels);
+  const std::size_t dim = points[0].size();
+  std::vector<std::vector<double>> centroids(k, std::vector<double>(dim, 0.0));
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto c = static_cast<std::size_t>(labels[i]);
+    ++counts[c];
+    CS_CHECK_MSG(points[i].size() == dim, "inconsistent point dimension");
+    for (std::size_t d = 0; d < dim; ++d) centroids[c][d] += points[i][d];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    CS_CHECK_MSG(counts[c] > 0, "empty cluster");
+    for (auto& v : centroids[c]) v /= static_cast<double>(counts[c]);
+  }
+  return centroids;
+}
+
+double davies_bouldin(const std::vector<std::vector<double>>& points,
+                      const std::vector<int>& labels) {
+  const auto centroids = cluster_centroids(points, labels);
+  const std::size_t k = centroids.size();
+  CS_CHECK_MSG(k >= 2, "DBI requires at least two clusters");
+
+  // Si: mean member distance to the centroid.
+  std::vector<double> scatter(k, 0.0);
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto c = static_cast<std::size_t>(labels[i]);
+    scatter[c] += euclidean_distance(points[i], centroids[c]);
+    ++counts[c];
+  }
+  for (std::size_t c = 0; c < k; ++c)
+    scatter[c] /= static_cast<double>(counts[c]);
+
+  double dbi = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    double worst = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      const double m = euclidean_distance(centroids[i], centroids[j]);
+      CS_CHECK_MSG(m > 0.0, "coincident centroids");
+      worst = std::max(worst, (scatter[i] + scatter[j]) / m);
+    }
+    dbi += worst;
+  }
+  return dbi / static_cast<double>(k);
+}
+
+double silhouette(const std::vector<std::vector<double>>& points,
+                  const std::vector<int>& labels) {
+  CS_CHECK_MSG(points.size() == labels.size() && points.size() >= 2,
+               "need >= 2 labeled points");
+  const std::size_t k = num_clusters(labels);
+  CS_CHECK_MSG(k >= 2, "silhouette requires at least two clusters");
+  const auto members = cluster_members(labels);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto own = static_cast<std::size_t>(labels[i]);
+    // a(i): mean distance to own cluster (0 for singleton, per convention
+    // s(i) = 0 for singletons).
+    if (members[own].size() == 1) continue;
+    double a = 0.0;
+    for (const std::size_t j : members[own]) {
+      if (j == i) continue;
+      a += euclidean_distance(points[i], points[j]);
+    }
+    a /= static_cast<double>(members[own].size() - 1);
+
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own) continue;
+      double mean_d = 0.0;
+      for (const std::size_t j : members[c])
+        mean_d += euclidean_distance(points[i], points[j]);
+      mean_d /= static_cast<double>(members[c].size());
+      b = std::min(b, mean_d);
+    }
+    total += (b - a) / std::max(a, b);
+  }
+  return total / static_cast<double>(points.size());
+}
+
+double calinski_harabasz(const std::vector<std::vector<double>>& points,
+                         const std::vector<int>& labels) {
+  const auto centroids = cluster_centroids(points, labels);
+  const std::size_t k = centroids.size();
+  const std::size_t n = points.size();
+  CS_CHECK_MSG(k >= 2 && n > k, "CH requires 2 <= k < n");
+  const std::size_t dim = points[0].size();
+
+  std::vector<double> global(dim, 0.0);
+  for (const auto& p : points)
+    for (std::size_t d = 0; d < dim; ++d) global[d] += p[d];
+  for (auto& v : global) v /= static_cast<double>(n);
+
+  std::vector<std::size_t> counts(k, 0);
+  for (const int l : labels) ++counts[static_cast<std::size_t>(l)];
+
+  double between = 0.0;
+  for (std::size_t c = 0; c < k; ++c)
+    between += static_cast<double>(counts[c]) *
+               squared_distance(centroids[c], global);
+
+  double within = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    within += squared_distance(points[i],
+                               centroids[static_cast<std::size_t>(labels[i])]);
+  CS_CHECK_MSG(within > 0.0, "zero within-cluster scatter");
+
+  return (between / static_cast<double>(k - 1)) /
+         (within / static_cast<double>(n - k));
+}
+
+std::vector<DbiSweepPoint> dbi_sweep(
+    const Dendrogram& dendrogram,
+    const std::vector<std::vector<double>>& points, std::size_t k_min,
+    std::size_t k_max, std::size_t min_cluster_size) {
+  CS_CHECK_MSG(2 <= k_min && k_min <= k_max && k_max <= dendrogram.n(),
+               "sweep bounds must satisfy 2 <= k_min <= k_max <= n");
+  CS_CHECK_MSG(points.size() == dendrogram.n(),
+               "points must match the dendrogram");
+  std::vector<DbiSweepPoint> sweep;
+  sweep.reserve(k_max - k_min + 1);
+  const auto& merges = dendrogram.merges();
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    DbiSweepPoint point;
+    point.k = k;
+    // After n-k merges there are k clusters; the next merge distance is
+    // the largest threshold that still yields k clusters.
+    const std::size_t applied = dendrogram.n() - k;
+    point.threshold = applied < merges.size() ? merges[applied].distance
+                                              : merges.back().distance;
+    const auto labels = dendrogram.cut_k(k);
+    point.dbi = davies_bouldin(points, labels);
+    for (const auto& members : cluster_members(labels)) {
+      if (members.size() < min_cluster_size) {
+        point.valid = false;
+        break;
+      }
+    }
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+DbiSweepPoint best_cut(const std::vector<DbiSweepPoint>& sweep) {
+  CS_CHECK_MSG(!sweep.empty(), "empty sweep");
+  const DbiSweepPoint* best = nullptr;
+  for (const auto& point : sweep) {
+    if (!point.valid) continue;
+    if (!best || point.dbi < best->dbi) best = &point;
+  }
+  if (!best) {
+    // No valid cut: fall back to the unconstrained minimum.
+    for (const auto& point : sweep)
+      if (!best || point.dbi < best->dbi) best = &point;
+  }
+  return *best;
+}
+
+}  // namespace cellscope

@@ -1,0 +1,88 @@
+#include "opt/linalg.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  CS_CHECK_MSG(rows >= 1 && cols >= 1, "matrix must be non-empty");
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  CS_CHECK_MSG(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  CS_CHECK_MSG(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& x) const {
+  CS_CHECK_MSG(x.size() == cols_, "dimension mismatch in multiply");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) y[r] += at(r, c) * x[c];
+  return y;
+}
+
+std::vector<double> Matrix::multiply_transposed(
+    const std::vector<double>& y) const {
+  CS_CHECK_MSG(y.size() == rows_, "dimension mismatch in multiply_transposed");
+  std::vector<double> x(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) x[c] += at(r, c) * y[r];
+  return x;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) s += at(r, i) * at(r, j);
+      g.at(i, j) = s;
+    }
+  return g;
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  CS_CHECK_MSG(a.cols() == n && b.size() == n,
+               "solve_linear needs a square system");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) pivot = r;
+    if (std::fabs(a.at(pivot, col)) < 1e-12)
+      throw Error("solve_linear: singular system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a.at(r, col) / a.at(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a.at(i, c) * x[c];
+    x[i] = s / a.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace cellscope

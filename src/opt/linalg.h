@@ -1,0 +1,44 @@
+// Small dense linear algebra for the QP solver.
+//
+// Systems here are tiny (the convex-combination KKT systems are at most
+// 5×5), so a partial-pivoting Gaussian elimination is both sufficient and
+// easy to verify.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cellscope {
+
+/// Dense row-major matrix (minimal; only what the QP needs).
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Matrix-vector product (x.size() == cols).
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// Transposed product Aᵀ y (y.size() == rows).
+  std::vector<double> multiply_transposed(const std::vector<double>& y) const;
+
+  /// Gram matrix AᵀA.
+  Matrix gram() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting; throws
+/// cellscope::Error if A is (numerically) singular. A must be square and
+/// match b.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+}  // namespace cellscope

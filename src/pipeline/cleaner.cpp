@@ -1,0 +1,66 @@
+#include "pipeline/cleaner.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace cellscope {
+
+std::vector<TrafficLog> clean_logs(std::vector<TrafficLog> logs,
+                                   CleanStats* stats) {
+  return clean_logs(std::move(logs), CleanerOptions{}, stats);
+}
+
+std::vector<TrafficLog> clean_logs(std::vector<TrafficLog> logs,
+                                   const CleanerOptions& options,
+                                   CleanStats* stats) {
+  CleanStats local;
+  local.input_records = logs.size();
+
+  // Drop malformed records.
+  auto is_malformed = [&](const TrafficLog& log) {
+    if (log.end_minute <= log.start_minute) return true;
+    if (log.bytes == 0) return true;
+    if (options.validator && !options.validator(log)) return true;
+    return false;
+  };
+  const auto before = logs.size();
+  std::erase_if(logs, is_malformed);
+  local.malformed_dropped = before - logs.size();
+
+  // Sort so duplicates/conflicts of one connection are adjacent; within a
+  // connection key, the largest byte count comes first and is kept.
+  std::sort(logs.begin(), logs.end(),
+            [](const TrafficLog& a, const TrafficLog& b) {
+              return std::tie(a.user_id, a.tower_id, a.start_minute, b.bytes,
+                              b.end_minute) <
+                     std::tie(b.user_id, b.tower_id, b.start_minute, a.bytes,
+                              a.end_minute);
+            });
+
+  std::vector<TrafficLog> out;
+  out.reserve(logs.size());
+  for (auto& log : logs) {
+    if (!out.empty()) {
+      const auto& kept = out.back();
+      const bool same_connection = kept.user_id == log.user_id &&
+                                   kept.tower_id == log.tower_id &&
+                                   kept.start_minute == log.start_minute;
+      if (same_connection) {
+        if (kept.bytes == log.bytes && kept.end_minute == log.end_minute &&
+            kept.address == log.address) {
+          ++local.duplicates_removed;
+        } else {
+          ++local.conflicts_resolved;
+        }
+        continue;  // keep the first (largest) record of the connection
+      }
+    }
+    out.push_back(std::move(log));
+  }
+
+  local.output_records = out.size();
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace cellscope

@@ -1,0 +1,40 @@
+#include "pipeline/density.h"
+
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+DensityGrid traffic_density(const std::vector<Tower>& towers,
+                            const TrafficMatrix& matrix,
+                            std::size_t slot_begin, std::size_t slot_end,
+                            const BoundingBox& box, std::size_t rows,
+                            std::size_t cols) {
+  CS_CHECK_MSG(slot_begin < slot_end && slot_end <= TimeGrid::kSlots,
+               "invalid slot range");
+  std::unordered_map<std::uint32_t, const Tower*> tower_of;
+  for (const auto& t : towers) tower_of.emplace(t.id, &t);
+
+  DensityGrid grid(box, rows, cols);
+  for (std::size_t r = 0; r < matrix.n(); ++r) {
+    const auto it = tower_of.find(matrix.tower_ids[r]);
+    CS_CHECK_MSG(it != tower_of.end(), "matrix row without tower metadata");
+    double bytes = 0.0;
+    for (std::size_t s = slot_begin; s < slot_end; ++s)
+      bytes += matrix.rows[r][s];
+    grid.add(it->second->position, bytes);
+  }
+  return grid;
+}
+
+DensityGrid traffic_density_at_hour(const std::vector<Tower>& towers,
+                                    const TrafficMatrix& matrix, int day,
+                                    int hour, const BoundingBox& box,
+                                    std::size_t rows, std::size_t cols) {
+  const std::size_t begin = TimeGrid::slot_at(day, hour, 0);
+  return traffic_density(towers, matrix, begin, begin + TimeGrid::kSlotsPerHour,
+                         box, rows, cols);
+}
+
+}  // namespace cellscope

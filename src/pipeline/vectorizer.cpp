@@ -1,0 +1,74 @@
+#include "pipeline/vectorizer.h"
+
+#include <span>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "mapred/mapreduce.h"
+
+namespace cellscope {
+
+TrafficMatrix vectorize_logs(const std::vector<TrafficLog>& logs,
+                             const std::vector<Tower>& towers,
+                             ThreadPool& pool,
+                             const VectorizerOptions& options) {
+  CS_CHECK_MSG(!towers.empty(), "need at least one tower");
+
+  std::unordered_map<std::uint32_t, std::size_t> row_of;
+  row_of.reserve(towers.size());
+  TrafficMatrix matrix;
+  matrix.tower_ids.reserve(towers.size());
+  for (const auto& t : towers) {
+    row_of.emplace(t.id, matrix.tower_ids.size());
+    matrix.tower_ids.push_back(t.id);
+  }
+  matrix.rows.assign(towers.size(),
+                     std::vector<double>(TimeGrid::kSlots, 0.0));
+
+  // Map: log -> ((tower, slot), bytes); combine: sum. Keys are packed into
+  // one 64-bit integer — the shuffle key of the Hadoop job.
+  MapReduceOptions mr;
+  mr.chunk_size = options.chunk_size;
+  const auto aggregated = map_reduce<TrafficLog, std::uint64_t, double>(
+      std::span<const TrafficLog>(logs), pool,
+      [&row_of](const TrafficLog& log,
+                const std::function<void(const std::uint64_t&, double)>&
+                    emit) {
+        if (!row_of.contains(log.tower_id)) return;  // unknown tower
+        const std::uint64_t slot =
+            log.start_minute / TimeGrid::kSlotMinutes;
+        if (slot >= TimeGrid::kSlots) return;  // outside the 4-week grid
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(log.tower_id) << 32) | slot;
+        emit(key, static_cast<double>(log.bytes));
+      },
+      [](double& acc, double value) { acc += value; }, mr);
+
+  for (const auto& [key, bytes] : aggregated) {
+    const auto tower_id = static_cast<std::uint32_t>(key >> 32);
+    const auto slot = static_cast<std::size_t>(key & 0xFFFFFFFFULL);
+    matrix.rows[row_of.at(tower_id)][slot] = bytes;
+  }
+  matrix.check();
+  return matrix;
+}
+
+TrafficMatrix vectorize_intensity(const std::vector<Tower>& towers,
+                                  const IntensityModel& intensity,
+                                  std::uint64_t seed) {
+  CS_CHECK_MSG(towers.size() == intensity.size(),
+               "towers and intensity model must match");
+  Rng rng(seed);
+  TrafficMatrix matrix;
+  matrix.tower_ids.reserve(towers.size());
+  matrix.rows.reserve(towers.size());
+  for (const auto& t : towers) {
+    Rng tower_rng = rng.fork();
+    matrix.tower_ids.push_back(t.id);
+    matrix.rows.push_back(intensity.sample_series(t.id, tower_rng));
+  }
+  matrix.check();
+  return matrix;
+}
+
+}  // namespace cellscope

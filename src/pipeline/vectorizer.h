@@ -1,0 +1,46 @@
+// The traffic vectorizer — the paper's §3.2 system component.
+//
+// Converts cleaned connection logs into per-tower traffic vectors: the logs
+// are chunked and aggregated with the MapReduce engine (bytes attributed to
+// the 10-minute slot containing the connection start), yielding one
+// 4032-entry vector per tower; z-scoring is applied downstream by
+// zscore_rows (the paper's "normalization phase").
+//
+// A second entry point builds the matrix directly from the intensity model
+// — the fast path for the clustering/frequency experiments, which need
+// thousands of towers but not session granularity (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "city/tower.h"
+#include "mapred/thread_pool.h"
+#include "pipeline/traffic_matrix.h"
+#include "traffic/intensity_model.h"
+#include "traffic/trace_record.h"
+
+namespace cellscope {
+
+/// Vectorizer configuration.
+struct VectorizerOptions {
+  /// Logs per MapReduce chunk.
+  std::size_t chunk_size = 16384;
+};
+
+/// Aggregates cleaned logs into a TrafficMatrix. Rows appear for every
+/// tower in `towers` (towers with no traffic get all-zero rows); logs whose
+/// tower id is unknown are ignored (the cleaner should have dropped them).
+TrafficMatrix vectorize_logs(const std::vector<TrafficLog>& logs,
+                             const std::vector<Tower>& towers,
+                             ThreadPool& pool,
+                             const VectorizerOptions& options = {});
+
+/// Builds the matrix straight from the intensity model with per-slot
+/// sampling noise — statistically what vectorize_logs(clean(generate()))
+/// produces, minus session quantization. Deterministic in the seed.
+TrafficMatrix vectorize_intensity(const std::vector<Tower>& towers,
+                                  const IntensityModel& intensity,
+                                  std::uint64_t seed);
+
+}  // namespace cellscope

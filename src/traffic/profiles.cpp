@@ -1,0 +1,205 @@
+#include "traffic/profiles.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cellscope {
+
+namespace {
+
+/// Circular hour distance on the 24-hour clock.
+double hour_distance(double a, double b) {
+  const double d = std::fabs(a - b);
+  return std::min(d, 24.0 - d);
+}
+
+double gauss(double x, double sigma) {
+  return std::exp(-x * x / (2.0 * sigma * sigma));
+}
+
+}  // namespace
+
+double DayShape::value(double hour) const {
+  CS_CHECK_MSG(hour >= 0.0 && hour < 24.0, "hour out of range");
+  double bump_sum = 0.0;
+  for (const auto& b : bumps)
+    bump_sum += b.height * gauss(hour_distance(hour, b.hour), b.sigma_h);
+  const double dip = dip_depth * gauss(hour_distance(hour, dip_hour), 1.3);
+  return floor * (1.0 - dip) + (1.0 - floor) * std::min(1.0, bump_sum);
+}
+
+TrafficProfile::TrafficProfile(DayShape weekday, DayShape weekend,
+                               double weekend_scale, double peak_bytes)
+    : weekday_(std::move(weekday)),
+      weekend_(std::move(weekend)),
+      weekend_scale_(weekend_scale),
+      peak_bytes_(peak_bytes) {
+  CS_CHECK_MSG(weekend_scale_ > 0.0, "weekend scale must be positive");
+  CS_CHECK_MSG(peak_bytes_ > 0.0, "peak bytes must be positive");
+  weekday_table_.resize(TimeGrid::kSlotsPerDay);
+  weekend_table_.resize(TimeGrid::kSlotsPerDay);
+  for (int s = 0; s < TimeGrid::kSlotsPerDay; ++s) {
+    const double h = static_cast<double>(s) * TimeGrid::kSlotMinutes / 60.0;
+    weekday_table_[s] = weekday_.value(h) * peak_bytes_;
+    weekend_table_[s] = weekend_.value(h) * weekend_scale_ * peak_bytes_;
+  }
+}
+
+double TrafficProfile::rate(std::size_t slot) const {
+  const int sod = TimeGrid::slot_of_day(slot);
+  return TimeGrid::is_weekday(slot) ? weekday_table_[sod]
+                                    : weekend_table_[sod];
+}
+
+std::vector<double> TrafficProfile::series() const {
+  std::vector<double> out(TimeGrid::kSlots);
+  for (std::size_t s = 0; s < TimeGrid::kSlots; ++s) out[s] = rate(s);
+  return out;
+}
+
+std::vector<double> TrafficProfile::weekday_day() const {
+  return weekday_table_;
+}
+
+std::vector<double> TrafficProfile::weekend_day() const {
+  return weekend_table_;
+}
+
+namespace {
+
+TrafficProfile make_resident() {
+  DayShape wd;
+  wd.bumps = {{8.0, 0.15, 1.2}, {12.0, 0.42, 1.4}, {21.5, 1.0, 2.4}};
+  wd.floor = 0.160;
+  DayShape we;
+  we.bumps = {{9.5, 0.17, 1.6}, {12.5, 0.47, 1.5}, {21.5, 1.0, 2.4}};
+  we.floor = 0.156;
+  // Table 4: resident peak 7.77e8 weekday / 7.99e8 weekend; ratio ~8.9.
+  return TrafficProfile(wd, we, 7.99e8 / 7.77e8, 7.77e8);
+}
+
+TrafficProfile make_transport() {
+  DayShape wd;
+  wd.bumps = {{8.0, 1.0, 1.3}, {18.5, 1.0, 1.35}};
+  wd.floor = 0.0107;
+  DayShape we;
+  we.bumps = {{10.5, 0.60, 1.9}, {18.0, 1.0, 1.9}};
+  we.floor = 0.0124;
+  // Table 4: peak 2.76e8 wd / 1.55e8 we; ratio ~133 wd.
+  return TrafficProfile(wd, we, 1.55e8 / 2.76e8, 2.76e8);
+}
+
+TrafficProfile make_office() {
+  DayShape wd;
+  wd.bumps = {{11.0, 1.0, 2.2}, {15.0, 0.62, 2.0}};
+  wd.floor = 0.0621;
+  DayShape we;
+  we.bumps = {{12.5, 1.0, 2.8}};
+  we.floor = 0.0894;
+  // Table 4: peak 4.69e8 wd / 2.78e8 we; ratios 23 / 16; Fig 10 total 1.79.
+  return TrafficProfile(wd, we, 2.78e8 / 4.69e8, 4.69e8);
+}
+
+TrafficProfile make_entertainment() {
+  DayShape wd;
+  wd.bumps = {{12.5, 0.50, 1.5}, {18.0, 1.0, 2.0}, {21.0, 0.70, 1.8}};
+  wd.floor = 0.0443;
+  DayShape we;
+  we.bumps = {{12.5, 1.0, 2.5}, {18.5, 0.85, 2.2}};
+  we.floor = 0.0414;
+  // Table 4: peak 4.55e8 wd / 4.90e8 we; ratios ~32 / ~35.
+  return TrafficProfile(wd, we, 4.90e8 / 4.55e8, 4.55e8);
+}
+
+}  // namespace
+
+const std::vector<TrafficProfile>& pure_profiles() {
+  static const std::vector<TrafficProfile> kProfiles = {
+      make_resident(), make_transport(), make_office(), make_entertainment()};
+  return kProfiles;
+}
+
+std::vector<double> TrafficProfile::mix_series(
+    const std::vector<const TrafficProfile*>& profiles,
+    const std::vector<double>& weights) {
+  CS_CHECK_MSG(profiles.size() == weights.size() && !profiles.empty(),
+               "mix_series requires matching non-empty inputs");
+  std::vector<double> out(TimeGrid::kSlots, 0.0);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    CS_CHECK_MSG(profiles[i] != nullptr, "null profile");
+    for (std::size_t s = 0; s < TimeGrid::kSlots; ++s)
+      out[s] += weights[i] * profiles[i]->rate(s);
+  }
+  return out;
+}
+
+TrafficProfile TrafficProfile::canonical(FunctionalRegion r) {
+  switch (r) {
+    case FunctionalRegion::kResident: return make_resident();
+    case FunctionalRegion::kTransport: return make_transport();
+    case FunctionalRegion::kOffice: return make_office();
+    case FunctionalRegion::kEntertainment: return make_entertainment();
+    case FunctionalRegion::kComprehensive: {
+      // Weighted mixture of the pure profiles per Table 1 (the paper finds
+      // comprehensive traffic ≈ city average, Fig. 11). Expressed back as
+      // a TrafficProfile by mixing the day shapes through sampled tables.
+      const auto mix = table1_region_mix();
+      double pure_sum = 0.0;
+      for (int i = 0; i < 4; ++i) pure_sum += mix[i];
+      // Build day shapes numerically: sample each pure profile's day
+      // tables, combine, and re-fit as a dense bump list (one bump per
+      // slot would be wasteful; instead store combined tables via a
+      // DayShape with a fine bump comb is overkill — so construct from
+      // combined tables directly using the private constructor path).
+      // Simpler and exact: make a profile whose day shapes are single
+      // wide bumps but whose tables we overwrite is not possible through
+      // the public API; instead approximate the mixture with bumps from
+      // each pure profile, scaled by mixture weight and relative peaks.
+      const auto& pure = pure_profiles();
+      double peak = 0.0;
+      // Combine weekday tables to find the mixture's peak magnitude.
+      std::vector<double> wd_table(TimeGrid::kSlotsPerDay, 0.0);
+      std::vector<double> we_table(TimeGrid::kSlotsPerDay, 0.0);
+      for (int i = 0; i < 4; ++i) {
+        const auto wd = pure[i].weekday_day();
+        const auto we = pure[i].weekend_day();
+        for (int s = 0; s < TimeGrid::kSlotsPerDay; ++s) {
+          wd_table[s] += mix[i] / pure_sum * wd[s];
+          we_table[s] += mix[i] / pure_sum * we[s];
+        }
+      }
+      double wd_peak = 0.0;
+      double we_peak = 0.0;
+      for (int s = 0; s < TimeGrid::kSlotsPerDay; ++s) {
+        wd_peak = std::max(wd_peak, wd_table[s]);
+        we_peak = std::max(we_peak, we_table[s]);
+      }
+      // Keep the mixture's *shape* but pin the absolute peak to the
+      // published cluster aggregate (Table 4: comprehensive 7.36e8).
+      peak = 7.36e8;
+      // Express the combined tables as DayShapes: a dense comb of narrow
+      // bumps reproducing the table exactly at slot centers.
+      auto to_shape = [&](const std::vector<double>& table,
+                          double table_peak) {
+        DayShape shape;
+        shape.floor = 0.0;
+        shape.dip_depth = 0.0;
+        shape.bumps.reserve(table.size());
+        for (int s = 0; s < TimeGrid::kSlotsPerDay; ++s) {
+          const double h =
+              static_cast<double>(s) * TimeGrid::kSlotMinutes / 60.0;
+          // Narrow bumps (sigma ≈ 0.04 h) act as interpolation kernels.
+          shape.bumps.push_back({h, table[s] / table_peak, 0.042});
+        }
+        return shape;
+      };
+      return TrafficProfile(to_shape(wd_table, wd_peak),
+                            to_shape(we_table, we_peak), we_peak / wd_peak,
+                            peak);
+    }
+  }
+  throw InvalidArgument("unknown FunctionalRegion");
+}
+
+}  // namespace cellscope

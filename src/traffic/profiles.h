@@ -1,0 +1,94 @@
+// The five canonical traffic profiles.
+//
+// Substitute for the per-cluster aggregate traffic the paper measures
+// (DESIGN.md §2): each urban functional region gets a parametric
+// weekday/weekend diurnal profile calibrated to the published statistics —
+//   * peak and valley times (Table 5: resident 21:30, transport 08:00 &
+//     18:00, office late morning, entertainment 18:00 weekday vs 12:30
+//     weekend; valleys 04:00-05:00),
+//   * peak-valley ratios (Table 4: transport ≈133, office ≈23,
+//     entertainment ≈32, resident/comprehensive ≈9),
+//   * weekday/weekend totals (Fig. 10a: transport 1.49, office 1.79,
+//     others ≈1),
+//   * absolute peak magnitudes (Table 4 maxima, bytes per 10 minutes).
+// The comprehensive profile is the Table-1-weighted mixture of the four
+// pure profiles, matching the paper's finding that comprehensive traffic
+// tracks the city-wide average (Fig. 11, bottom row).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "city/functional_region.h"
+#include "common/time_grid.h"
+
+namespace cellscope {
+
+/// One Gaussian bump of a diurnal shape.
+struct DiurnalBump {
+  double hour = 12.0;    ///< center, hour-of-day in [0, 24)
+  double height = 1.0;   ///< relative height (max bump should be 1)
+  double sigma_h = 1.5;  ///< width in hours (circular distance)
+};
+
+/// Shape of one day type (weekday or weekend).
+struct DayShape {
+  std::vector<DiurnalBump> bumps;
+  /// Night floor relative to the day's peak (sets the peak-valley ratio).
+  double floor = 0.05;
+  /// Depth of the early-morning dip carved into the floor so the valley
+  /// lands at a unique time (the paper: 04:00-05:00).
+  double dip_depth = 0.3;
+  /// Center of the dip, hour-of-day.
+  double dip_hour = 4.7;
+
+  /// Shape value at an hour-of-day; max over the day is ~1.
+  double value(double hour) const;
+};
+
+/// A full weekly traffic profile with absolute scale.
+class TrafficProfile {
+ public:
+  TrafficProfile(DayShape weekday, DayShape weekend, double weekend_scale,
+                 double peak_bytes);
+
+  /// Expected traffic (bytes per 10-minute slot) at an absolute slot of the
+  /// 4-week grid.
+  double rate(std::size_t slot) const;
+
+  /// The full 4032-slot expected series.
+  std::vector<double> series() const;
+
+  /// One averaged day (144 slots) of the weekday / weekend shape, in
+  /// absolute bytes.
+  std::vector<double> weekday_day() const;
+  std::vector<double> weekend_day() const;
+
+  double weekend_scale() const { return weekend_scale_; }
+  double peak_bytes() const { return peak_bytes_; }
+
+  /// The canonical profile of a region. Comprehensive is the Table-1
+  /// weighted mixture of the four pure profiles.
+  static TrafficProfile canonical(FunctionalRegion r);
+
+  /// Linear combination of profiles evaluated slot-wise (weights need not
+  /// be normalized). Used for mixtures and the comprehensive profile.
+  static std::vector<double> mix_series(
+      const std::vector<const TrafficProfile*>& profiles,
+      const std::vector<double>& weights);
+
+ private:
+  DayShape weekday_;
+  DayShape weekend_;
+  double weekend_scale_;
+  double peak_bytes_;
+  // Precomputed per-day-type slot tables (144 entries each).
+  std::vector<double> weekday_table_;
+  std::vector<double> weekend_table_;
+};
+
+/// The four pure canonical profiles indexed by pure-region order
+/// (resident, transport, office, entertainment).
+const std::vector<TrafficProfile>& pure_profiles();
+
+}  // namespace cellscope

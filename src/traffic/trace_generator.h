@@ -1,0 +1,57 @@
+// Session-level trace generation.
+//
+// The paper's raw input is a log of individual data connections; this
+// generator emits that representation from the per-tower intensity model,
+// including the data-quality defects the paper's preprocessing removes
+// (§2.2): exact duplicate records and conflicting records (same connection
+// logged twice with different byte counts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "city/tower.h"
+#include "traffic/intensity_model.h"
+#include "traffic/trace_record.h"
+
+namespace cellscope {
+
+/// Trace generation knobs.
+struct TraceOptions {
+  std::uint64_t seed = 777;
+  /// Subscriber population size (ids are drawn from a heavy-tailed usage
+  /// distribution, mirroring the 150k-subscriber trace at reduced scale).
+  std::size_t n_users = 5000;
+  /// Mean bytes per session; controls how many sessions a slot's expected
+  /// bytes decompose into.
+  double mean_session_bytes = 2.0e5;
+  /// Mean session duration in minutes (exponential).
+  double mean_session_minutes = 8.0;
+  /// Probability of emitting an exact duplicate of a record.
+  double duplicate_prob = 0.02;
+  /// Probability of emitting a conflicting copy (same user/tower/start,
+  /// different bytes and end time).
+  double conflict_prob = 0.01;
+  /// Generate only days [day_begin, day_end) of the 28-day grid — session
+  /// mode is detailed, so tests and benches often restrict the window.
+  int day_begin = 0;
+  int day_end = TimeGrid::kDays;
+};
+
+/// Generation output with some bookkeeping for validation.
+struct TraceResult {
+  std::vector<TrafficLog> logs;
+  std::size_t duplicates_injected = 0;
+  std::size_t conflicts_injected = 0;
+  /// Ground-truth clean bytes per (tower, slot) — what a perfect pipeline
+  /// should recover. Indexed [tower_id][slot].
+  std::vector<std::vector<double>> clean_bytes;
+};
+
+/// Generates the session-level trace for all towers over the selected day
+/// window. Deterministic in the seed.
+TraceResult generate_trace(const std::vector<Tower>& towers,
+                           const IntensityModel& intensity,
+                           const TraceOptions& options);
+
+}  // namespace cellscope

@@ -1,0 +1,69 @@
+#include "traffic/trace_io.h"
+
+#include <cstdlib>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace cellscope {
+
+namespace {
+const char* kHeader[] = {"user_id", "tower_id",  "start_minute",
+                         "end_minute", "bytes", "address"};
+}
+
+void write_trace_csv(const std::string& path,
+                     const std::vector<TrafficLog>& logs) {
+  CsvWriter writer(path);
+  writer.write_row(std::vector<std::string>(std::begin(kHeader),
+                                            std::end(kHeader)));
+  for (const auto& log : logs) {
+    writer.write_row({std::to_string(log.user_id),
+                      std::to_string(log.tower_id),
+                      std::to_string(log.start_minute),
+                      std::to_string(log.end_minute),
+                      std::to_string(log.bytes), log.address});
+  }
+  writer.close();
+}
+
+std::vector<TrafficLog> read_trace_csv(const std::string& path) {
+  const auto rows = CsvReader::read_file(path);
+  std::vector<TrafficLog> logs;
+  if (rows.empty()) return logs;
+  logs.reserve(rows.size() - 1);
+
+  auto parse_u64 = [](const std::string& s, std::uint64_t& out) {
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+      return false;
+    out = std::strtoull(s.c_str(), nullptr, 10);
+    return true;
+  };
+
+  for (std::size_t i = 1; i < rows.size(); ++i) {  // skip header
+    const auto& row = rows[i];
+    if (row.size() != 6) continue;
+    TrafficLog log;
+    std::uint64_t tower = 0;
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    if (!parse_u64(row[0], log.user_id) || !parse_u64(row[1], tower) ||
+        !parse_u64(row[2], start) || !parse_u64(row[3], end) ||
+        !parse_u64(row[4], log.bytes))
+      continue;
+    log.tower_id = static_cast<std::uint32_t>(tower);
+    log.start_minute = static_cast<std::uint32_t>(start);
+    log.end_minute = static_cast<std::uint32_t>(end);
+    log.address = row[5];
+    logs.push_back(std::move(log));
+  }
+  return logs;
+}
+
+std::uint64_t total_bytes(const std::vector<TrafficLog>& logs) {
+  std::uint64_t s = 0;
+  for (const auto& log : logs) s += log.bytes;
+  return s;
+}
+
+}  // namespace cellscope

@@ -1,0 +1,28 @@
+// Trace persistence (CSV).
+//
+// Real traces arrive as flat files; persisting and re-reading the synthetic
+// trace exercises the same unstructured-input path the paper's Hadoop jobs
+// consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "traffic/trace_record.h"
+
+namespace cellscope {
+
+/// Writes logs as CSV with a header row.
+void write_trace_csv(const std::string& path,
+                     const std::vector<TrafficLog>& logs);
+
+/// Reads a trace CSV produced by write_trace_csv. Malformed rows are
+/// returned as-is where parseable and skipped when structurally broken
+/// (wrong column count / non-numeric ids) — cleaning is the pipeline's
+/// job, not the reader's.
+std::vector<TrafficLog> read_trace_csv(const std::string& path);
+
+/// Total bytes across logs.
+std::uint64_t total_bytes(const std::vector<TrafficLog>& logs);
+
+}  // namespace cellscope

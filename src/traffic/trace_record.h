@@ -1,0 +1,26 @@
+// The raw trace record.
+//
+// Mirrors the fields the paper's ISP trace carries per entry (§2.1):
+// anonymized device id, start/end time of the data connection, base-station
+// id, base-station address, and bytes used in the connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cellscope {
+
+/// One data-connection log entry. Times are minutes since the start of the
+/// 4-week measurement grid.
+struct TrafficLog {
+  std::uint64_t user_id = 0;
+  std::uint32_t tower_id = 0;
+  std::uint32_t start_minute = 0;
+  std::uint32_t end_minute = 0;  ///< inclusive-start, exclusive-end; >= start
+  std::uint64_t bytes = 0;
+  std::string address;  ///< base-station street address (as logged)
+
+  bool operator==(const TrafficLog& other) const = default;
+};
+
+}  // namespace cellscope

@@ -1,0 +1,186 @@
+#include "viz/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace cellscope {
+
+namespace {
+
+constexpr char kSeriesGlyphs[] = "*o+x#%@&";
+constexpr char kShadeRamp[] = " .:-=+*#%@";
+
+/// Downsamples a series to `width` points by box averaging.
+std::vector<double> downsample(std::span<const double> series,
+                               std::size_t width) {
+  std::vector<double> out(width, 0.0);
+  const double step =
+      static_cast<double>(series.size()) / static_cast<double>(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto begin = static_cast<std::size_t>(i * step);
+    const auto end = std::max<std::size_t>(
+        begin + 1, static_cast<std::size_t>((i + 1) * step));
+    double s = 0.0;
+    std::size_t count = 0;
+    for (std::size_t j = begin; j < end && j < series.size(); ++j) {
+      s += series[j];
+      ++count;
+    }
+    out[i] = count ? s / static_cast<double>(count) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string line_chart(const std::vector<std::vector<double>>& series,
+                       const LineChartOptions& options) {
+  CS_CHECK_MSG(!series.empty(), "line chart needs at least one series");
+  for (const auto& s : series)
+    CS_CHECK_MSG(!s.empty(), "empty series in line chart");
+  CS_CHECK_MSG(options.width >= 8 && options.height >= 4,
+               "chart too small");
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> sampled;
+  sampled.reserve(series.size());
+  for (const auto& s : series) {
+    sampled.push_back(downsample(s, options.width));
+    for (const double v : sampled.back()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi == lo) hi = lo + 1.0;
+
+  std::vector<std::string> canvas(options.height,
+                                  std::string(options.width, ' '));
+  for (std::size_t k = 0; k < sampled.size(); ++k) {
+    const char glyph = kSeriesGlyphs[k % (sizeof(kSeriesGlyphs) - 1)];
+    for (std::size_t x = 0; x < options.width; ++x) {
+      const double f = (sampled[k][x] - lo) / (hi - lo);
+      const auto y = static_cast<std::size_t>(
+          std::min<double>(options.height - 1,
+                           f * static_cast<double>(options.height - 1)));
+      canvas[options.height - 1 - y][x] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  if (!options.series_names.empty()) {
+    out += "  legend:";
+    for (std::size_t k = 0; k < options.series_names.size(); ++k) {
+      out += "  ";
+      out += kSeriesGlyphs[k % (sizeof(kSeriesGlyphs) - 1)];
+      out += "=" + options.series_names[k];
+    }
+    out += "\n";
+  }
+  out += "  max " + format_double(hi, 3) + "\n";
+  for (const auto& row : canvas) out += "  |" + row + "\n";
+  out += "  min " + format_double(lo, 3);
+  out += "  +" + std::string(options.width, '-') + "\n";
+  if (!options.x_label.empty()) out += "   " + options.x_label + "\n";
+  return out;
+}
+
+std::string line_chart(std::span<const double> series,
+                       const LineChartOptions& options) {
+  return line_chart(
+      std::vector<std::vector<double>>{{series.begin(), series.end()}},
+      options);
+}
+
+std::string heatmap(const std::vector<double>& values, std::size_t rows,
+                    std::size_t cols, const std::string& title,
+                    bool log_scale) {
+  CS_CHECK_MSG(values.size() == rows * cols, "heatmap shape mismatch");
+  double hi = 0.0;
+  for (const double v : values) hi = std::max(hi, v);
+
+  auto shade = [&](double v) {
+    if (hi <= 0.0) return ' ';
+    double f = v / hi;
+    if (log_scale) f = v > 0.0 ? std::log1p(v) / std::log1p(hi) : 0.0;
+    const int idx = static_cast<int>(f * (sizeof(kShadeRamp) - 2));
+    return kShadeRamp[std::clamp(idx, 0,
+                                 static_cast<int>(sizeof(kShadeRamp)) - 2)];
+  };
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  // Row 0 is the south edge of a geographic grid; print north-up.
+  for (std::size_t r = rows; r-- > 0;) {
+    out += "  ";
+    for (std::size_t c = 0; c < cols; ++c)
+      out += shade(values[r * cols + c]);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string bar_chart(const std::vector<std::string>& labels,
+                      const std::vector<double>& values,
+                      const std::string& title, std::size_t width) {
+  CS_CHECK_MSG(labels.size() == values.size() && !labels.empty(),
+               "labels and values must match");
+  double hi = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+  for (const double v : values) hi = std::max(hi, v);
+  if (hi <= 0.0) hi = 1.0;
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::max(0.0, values[i] / hi) * static_cast<double>(width));
+    out += "  " + labels[i] +
+           std::string(label_width - labels[i].size(), ' ') + " |" +
+           std::string(bar, '#') + " " + format_double(values[i], 3) + "\n";
+  }
+  return out;
+}
+
+std::string scatter_plot(const std::vector<double>& x,
+                         const std::vector<double>& y,
+                         const std::vector<int>& cls,
+                         const std::string& title, std::size_t width,
+                         std::size_t height) {
+  CS_CHECK_MSG(x.size() == y.size() && x.size() == cls.size() && !x.empty(),
+               "scatter inputs must match and be non-empty");
+  const double x_lo = *std::min_element(x.begin(), x.end());
+  const double x_hi = *std::max_element(x.begin(), x.end());
+  const double y_lo = *std::min_element(y.begin(), y.end());
+  const double y_hi = *std::max_element(y.begin(), y.end());
+  const double x_span = x_hi > x_lo ? x_hi - x_lo : 1.0;
+  const double y_span = y_hi > y_lo ? y_hi - y_lo : 1.0;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto cx = static_cast<std::size_t>(
+        std::min<double>(width - 1, (x[i] - x_lo) / x_span *
+                                        static_cast<double>(width - 1)));
+    const auto cy = static_cast<std::size_t>(
+        std::min<double>(height - 1, (y[i] - y_lo) / y_span *
+                                         static_cast<double>(height - 1)));
+    canvas[height - 1 - cy][cx] =
+        static_cast<char>('0' + std::clamp(cls[i], 0, 9));
+  }
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  out += "  y: [" + format_double(y_lo, 3) + ", " + format_double(y_hi, 3) +
+         "]  x: [" + format_double(x_lo, 3) + ", " + format_double(x_hi, 3) +
+         "]\n";
+  for (const auto& row : canvas) out += "  |" + row + "\n";
+  return out;
+}
+
+}  // namespace cellscope

@@ -1,0 +1,53 @@
+// Terminal rendering of the paper's figures.
+//
+// Every figure bench prints its series/maps as ASCII so the reproduction
+// is inspectable without a plotting stack; the same data is exported as
+// CSV by figure_export for external plotting.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cellscope {
+
+/// Options for line charts.
+struct LineChartOptions {
+  std::size_t width = 96;   ///< columns of the plot area
+  std::size_t height = 16;  ///< rows of the plot area
+  std::string title;
+  std::string x_label;
+  std::vector<std::string> series_names;  ///< legend (one per series)
+};
+
+/// Renders one or more series over a shared x-axis (each downsampled to
+/// the chart width; y-axis annotated with min/max).
+std::string line_chart(const std::vector<std::vector<double>>& series,
+                       const LineChartOptions& options);
+
+/// Convenience single-series overload.
+std::string line_chart(std::span<const double> series,
+                       const LineChartOptions& options);
+
+/// Renders a row-major matrix as a shaded heatmap (" .:-=+*#%@" ramp),
+/// normalized to the matrix maximum; `log_scale` compresses heavy-tailed
+/// data like traffic densities.
+std::string heatmap(const std::vector<double>& values, std::size_t rows,
+                    std::size_t cols, const std::string& title,
+                    bool log_scale = false);
+
+/// Horizontal bar chart of labeled values.
+std::string bar_chart(const std::vector<std::string>& labels,
+                      const std::vector<double>& values,
+                      const std::string& title, std::size_t width = 60);
+
+/// Scatter plot of (x, y) points with per-point class ids rendered as
+/// digits (class 0 -> '0', ...). Used for the Fig. 15 phase/amplitude
+/// scatters.
+std::string scatter_plot(const std::vector<double>& x,
+                         const std::vector<double>& y,
+                         const std::vector<int>& cls,
+                         const std::string& title, std::size_t width = 80,
+                         std::size_t height = 24);
+
+}  // namespace cellscope

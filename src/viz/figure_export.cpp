@@ -1,0 +1,49 @@
+#include "viz/figure_export.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace cellscope {
+
+std::string figure_output_dir() {
+  const char* env = std::getenv("CELLSCOPE_OUT");
+  const std::string dir = env && *env ? env : "out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw IoError("cannot create output directory: " + dir);
+  return dir;
+}
+
+void export_columns(const std::string& name,
+                    const std::vector<std::string>& column_names,
+                    const std::vector<std::vector<double>>& columns) {
+  CS_CHECK_MSG(!columns.empty() && column_names.size() == columns.size(),
+               "column names and data must match");
+  const std::size_t rows = columns[0].size();
+  for (const auto& c : columns)
+    CS_CHECK_MSG(c.size() == rows, "columns must have equal length");
+
+  CsvWriter writer(figure_output_dir() + "/" + name + ".csv");
+  writer.write_row(column_names);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> row;
+    row.reserve(columns.size());
+    for (const auto& c : columns) row.push_back(c[r]);
+    writer.write_row(row);
+  }
+  writer.close();
+}
+
+void export_series(const std::string& name, std::span<const double> series,
+                   const std::string& value_name) {
+  std::vector<double> index(series.size());
+  for (std::size_t i = 0; i < index.size(); ++i)
+    index[i] = static_cast<double>(i);
+  export_columns(name, {"index", value_name},
+                 {index, {series.begin(), series.end()}});
+}
+
+}  // namespace cellscope

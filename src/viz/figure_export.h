@@ -1,0 +1,26 @@
+// CSV export of figure data.
+//
+// Each bench writes the series behind its figure/table into out/ so the
+// reproduction can be re-plotted with any external tool.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cellscope {
+
+/// Creates (if needed) and returns the export directory path; set the
+/// CELLSCOPE_OUT environment variable to override the default "out".
+std::string figure_output_dir();
+
+/// Writes named columns of equal length to `<dir>/<name>.csv`.
+void export_columns(const std::string& name,
+                    const std::vector<std::string>& column_names,
+                    const std::vector<std::vector<double>>& columns);
+
+/// Writes one series with an index column.
+void export_series(const std::string& name, std::span<const double> series,
+                   const std::string& value_name = "value");
+
+}  // namespace cellscope

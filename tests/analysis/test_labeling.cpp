@@ -1,0 +1,125 @@
+#include "analysis/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+using PoiRow = std::array<double, kNumPoiTypes>;
+
+TEST(Labeling, ClearDominanceAssignsAllFourTypes) {
+  // Five clusters: four with one dominant type each, one flat.
+  const std::vector<PoiRow> normalized = {
+      {0.9, 0.1, 0.1, 0.1},   // resident-dominant
+      {0.1, 0.8, 0.1, 0.1},   // transport-dominant
+      {0.1, 0.1, 0.9, 0.1},   // office-dominant
+      {0.1, 0.1, 0.1, 0.85},  // entertainment-dominant
+      {0.2, 0.2, 0.2, 0.2},   // flat
+  };
+  const auto labeling = label_clusters_by_poi(normalized);
+  EXPECT_EQ(labeling.region_of_cluster[0], FunctionalRegion::kResident);
+  EXPECT_EQ(labeling.region_of_cluster[1], FunctionalRegion::kTransport);
+  EXPECT_EQ(labeling.region_of_cluster[2], FunctionalRegion::kOffice);
+  EXPECT_EQ(labeling.region_of_cluster[3],
+            FunctionalRegion::kEntertainment);
+  EXPECT_EQ(labeling.region_of_cluster[4],
+            FunctionalRegion::kComprehensive);
+}
+
+TEST(Labeling, ResidentEverywhereStillResolvedByRelativeShare) {
+  // Resident counts are high in all clusters (as in the real city); the
+  // labeler must use relative dominance, not absolute counts.
+  const std::vector<PoiRow> normalized = {
+      {0.50, 0.02, 0.10, 0.10},  // highest resident share
+      {0.40, 0.30, 0.10, 0.10},  // transport stands out relatively
+      {0.40, 0.02, 0.60, 0.10},
+      {0.40, 0.02, 0.10, 0.70},
+      {0.42, 0.03, 0.12, 0.12},
+  };
+  const auto labeling = label_clusters_by_poi(normalized);
+  EXPECT_EQ(labeling.region_of_cluster[0], FunctionalRegion::kResident);
+  EXPECT_EQ(labeling.region_of_cluster[1], FunctionalRegion::kTransport);
+  EXPECT_EQ(labeling.region_of_cluster[2], FunctionalRegion::kOffice);
+  EXPECT_EQ(labeling.region_of_cluster[3],
+            FunctionalRegion::kEntertainment);
+  EXPECT_EQ(labeling.region_of_cluster[4],
+            FunctionalRegion::kComprehensive);
+}
+
+TEST(Labeling, EachPureRegionAssignedAtMostOnce) {
+  const std::vector<PoiRow> normalized = {
+      {0.9, 0.0, 0.0, 0.0},
+      {0.8, 0.0, 0.0, 0.0},  // also resident-heavy
+      {0.0, 0.0, 0.9, 0.0},
+  };
+  const auto labeling = label_clusters_by_poi(normalized);
+  int resident_count = 0;
+  for (const auto r : labeling.region_of_cluster)
+    if (r == FunctionalRegion::kResident) ++resident_count;
+  EXPECT_EQ(resident_count, 1);
+}
+
+TEST(Labeling, FewerClustersThanTypes) {
+  const std::vector<PoiRow> normalized = {
+      {0.9, 0.0, 0.1, 0.0},
+      {0.0, 0.0, 0.9, 0.1},
+  };
+  const auto labeling = label_clusters_by_poi(normalized);
+  EXPECT_EQ(labeling.region_of_cluster[0], FunctionalRegion::kResident);
+  EXPECT_EQ(labeling.region_of_cluster[1], FunctionalRegion::kOffice);
+}
+
+TEST(Labeling, AllZeroSignalFallsBackToComprehensive) {
+  const std::vector<PoiRow> normalized = {
+      {0.0, 0.0, 0.0, 0.0}, {0.0, 0.0, 0.0, 0.0}};
+  const auto labeling = label_clusters_by_poi(normalized);
+  for (const auto r : labeling.region_of_cluster)
+    EXPECT_EQ(r, FunctionalRegion::kComprehensive);
+}
+
+TEST(Validation, PerfectLabelsGiveFullAccuracy) {
+  std::vector<Tower> towers(4);
+  towers[0].true_region = FunctionalRegion::kResident;
+  towers[1].true_region = FunctionalRegion::kResident;
+  towers[2].true_region = FunctionalRegion::kOffice;
+  towers[3].true_region = FunctionalRegion::kOffice;
+  const std::vector<int> labels = {0, 0, 1, 1};
+  ClusterLabeling labeling;
+  labeling.region_of_cluster = {FunctionalRegion::kResident,
+                                FunctionalRegion::kOffice};
+  const auto v = validate_labels(labels, labeling, {0, 1, 2, 3}, towers);
+  EXPECT_DOUBLE_EQ(v.accuracy, 1.0);
+  EXPECT_EQ(v.confusion[static_cast<int>(FunctionalRegion::kResident)]
+                       [static_cast<int>(FunctionalRegion::kResident)],
+            2u);
+}
+
+TEST(Validation, ConfusionMatrixCountsMislabels) {
+  std::vector<Tower> towers(3);
+  towers[0].true_region = FunctionalRegion::kResident;
+  towers[1].true_region = FunctionalRegion::kOffice;
+  towers[2].true_region = FunctionalRegion::kOffice;
+  const std::vector<int> labels = {0, 0, 1};
+  ClusterLabeling labeling;
+  labeling.region_of_cluster = {FunctionalRegion::kResident,
+                                FunctionalRegion::kOffice};
+  const auto v = validate_labels(labels, labeling, {0, 1, 2}, towers);
+  EXPECT_NEAR(v.accuracy, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(v.confusion[static_cast<int>(FunctionalRegion::kOffice)]
+                       [static_cast<int>(FunctionalRegion::kResident)],
+            1u);
+}
+
+TEST(Validation, ValidatesInput) {
+  std::vector<Tower> towers(1);
+  ClusterLabeling labeling;
+  labeling.region_of_cluster = {FunctionalRegion::kResident};
+  EXPECT_THROW(validate_labels({0, 0}, labeling, {0}, towers), Error);
+  EXPECT_THROW(validate_labels({1}, labeling, {0}, towers), Error);
+  EXPECT_THROW(validate_labels({0}, labeling, {5}, towers), Error);
+}
+
+}  // namespace
+}  // namespace cellscope

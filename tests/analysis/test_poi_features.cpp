@@ -1,0 +1,108 @@
+#include "analysis/poi_features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+using Counts = std::array<std::size_t, kNumPoiTypes>;
+
+TEST(NormalizedPoi, MinMaxThenAverage) {
+  // Two clusters of two towers each; counts chosen so normalization is
+  // easy to verify. Type 0 ranges 0..100.
+  const std::vector<Counts> counts = {
+      {100, 0, 0, 0}, {0, 0, 0, 0}, {50, 0, 0, 0}, {50, 0, 0, 0}};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const auto normalized = normalized_poi_by_cluster(counts, labels);
+  ASSERT_EQ(normalized.size(), 2u);
+  EXPECT_NEAR(normalized[0][0], 0.5, 1e-12);  // (1.0 + 0.0) / 2
+  EXPECT_NEAR(normalized[1][0], 0.5, 1e-12);  // (0.5 + 0.5) / 2
+  // Constant-zero columns normalize to zero.
+  EXPECT_NEAR(normalized[0][1], 0.0, 1e-12);
+}
+
+TEST(NormalizedPoi, DominantClusterWins) {
+  const std::vector<Counts> counts = {
+      {10, 0, 200, 5}, {12, 0, 180, 6},   // office-ish towers
+      {11, 0, 10, 80}, {9, 1, 12, 90}};   // entertainment-ish towers
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const auto normalized = normalized_poi_by_cluster(counts, labels);
+  EXPECT_GT(normalized[0][static_cast<int>(PoiType::kOffice)],
+            normalized[1][static_cast<int>(PoiType::kOffice)]);
+  EXPECT_GT(normalized[1][static_cast<int>(PoiType::kEntertain)],
+            normalized[0][static_cast<int>(PoiType::kEntertain)]);
+}
+
+TEST(PoiShares, RowsSumToOne) {
+  const std::vector<std::array<double, kNumPoiTypes>> normalized = {
+      {0.2, 0.1, 0.4, 0.3}, {0.0, 0.0, 0.0, 0.0}, {1.0, 1.0, 1.0, 1.0}};
+  const auto shares = poi_shares_by_cluster(normalized);
+  double row0 = 0.0;
+  for (const double v : shares[0]) row0 += v;
+  EXPECT_NEAR(row0, 1.0, 1e-12);
+  // All-zero rows stay zero rather than dividing by zero.
+  for (const double v : shares[1]) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (const double v : shares[2]) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(NtfIdf, RowsSumToOneWhenAnyPoiPresent) {
+  const std::vector<Counts> counts = {{5, 1, 0, 2}, {0, 0, 0, 0}};
+  const auto result = ntf_idf(counts);
+  double row0 = 0.0;
+  for (const double v : result[0]) row0 += v;
+  EXPECT_NEAR(row0, 1.0, 1e-12);
+  for (const double v : result[1]) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(NtfIdf, UbiquitousTypesGetZeroWeight) {
+  // Type 0 appears at every tower -> IDF = log(1) = 0 -> NTF-IDF 0.
+  const std::vector<Counts> counts = {{5, 1, 0, 0}, {3, 0, 2, 0},
+                                      {7, 0, 0, 4}};
+  const auto result = ntf_idf(counts);
+  for (const auto& row : result)
+    EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(NtfIdf, RareTypesGetBoosted) {
+  // Type 1 appears at 1 of 4 towers, type 2 at 3 of 4 — same raw count at
+  // tower 0, but type 1 carries higher IDF there.
+  const std::vector<Counts> counts = {
+      {0, 5, 5, 0}, {0, 0, 3, 0}, {0, 0, 4, 0}, {0, 0, 0, 1}};
+  const auto result = ntf_idf(counts);
+  EXPECT_GT(result[0][1], result[0][2]);
+}
+
+TEST(NtfIdf, MatchesTheFormula) {
+  // Hand-check IDF_i = log(M/M_i), TF-IDF = IDF * log(1 + count).
+  const std::vector<Counts> counts = {{0, 2, 0, 0}, {0, 0, 3, 0}};
+  const auto result = ntf_idf(counts);
+  const double idf = std::log(2.0 / 1.0);
+  const double t1 = idf * std::log(3.0);  // tower 0, type 1
+  // Tower 0 has only type 1 -> its share is 1.
+  EXPECT_NEAR(result[0][1], t1 / t1, 1e-12);
+  EXPECT_NEAR(result[1][2], 1.0, 1e-12);
+}
+
+TEST(NtfIdf, ZeroAbsenceConsistency) {
+  // The paper's Table 6 consistency check: a type absent around a tower
+  // must have NTF-IDF exactly zero.
+  const std::vector<Counts> counts = {{5, 0, 3, 1}, {2, 4, 0, 0}};
+  const auto result = ntf_idf(counts);
+  EXPECT_DOUBLE_EQ(result[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(result[1][2], 0.0);
+  EXPECT_DOUBLE_EQ(result[1][3], 0.0);
+}
+
+TEST(PoiFeatures, ValidatesInput) {
+  EXPECT_THROW(ntf_idf({}), Error);
+  const std::vector<Counts> counts = {{1, 0, 0, 0}};
+  EXPECT_THROW(normalized_poi_by_cluster(counts, {0, 1}), Error);
+  EXPECT_THROW(normalized_poi_by_cluster({}, {}), Error);
+}
+
+}  // namespace
+}  // namespace cellscope

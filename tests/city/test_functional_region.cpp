@@ -1,0 +1,68 @@
+#include "city/functional_region.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+TEST(FunctionalRegion, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto r : all_regions()) names.insert(region_name(r));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumRegions));
+}
+
+TEST(FunctionalRegion, PoiTypeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto t : all_poi_types()) names.insert(poi_type_name(t));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumPoiTypes));
+}
+
+TEST(FunctionalRegion, Table1MixSumsToOne) {
+  const auto mix = table1_region_mix();
+  const double total = std::accumulate(mix.begin(), mix.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(FunctionalRegion, Table1MixMatchesThePaper) {
+  // Table 1: resident 17.55%, transport 2.58%, office 45.72%,
+  // entertainment 9.35%, comprehensive 24.81% (up to renormalization).
+  const auto mix = table1_region_mix();
+  EXPECT_NEAR(mix[static_cast<int>(FunctionalRegion::kResident)], 0.1755,
+              1e-3);
+  EXPECT_NEAR(mix[static_cast<int>(FunctionalRegion::kTransport)], 0.0258,
+              1e-3);
+  EXPECT_NEAR(mix[static_cast<int>(FunctionalRegion::kOffice)], 0.4572, 1e-3);
+  EXPECT_NEAR(mix[static_cast<int>(FunctionalRegion::kEntertainment)], 0.0935,
+              1e-3);
+  EXPECT_NEAR(mix[static_cast<int>(FunctionalRegion::kComprehensive)], 0.2481,
+              1e-3);
+}
+
+TEST(FunctionalRegion, OfficeIsLargestTransportSmallest) {
+  // The paper: cluster #3 (office) has the most towers, #2 (transport) the
+  // fewest.
+  const auto mix = table1_region_mix();
+  const auto office = mix[static_cast<int>(FunctionalRegion::kOffice)];
+  const auto transport = mix[static_cast<int>(FunctionalRegion::kTransport)];
+  for (const auto r : all_regions()) {
+    EXPECT_LE(mix[static_cast<int>(r)], office);
+    EXPECT_GE(mix[static_cast<int>(r)], transport);
+  }
+}
+
+TEST(FunctionalRegion, PoiRegionMappingRoundTrips) {
+  for (const auto t : all_poi_types())
+    EXPECT_EQ(poi_type_of_region(region_of_poi_type(t)), t);
+}
+
+TEST(FunctionalRegion, ComprehensiveHasNoPoiType) {
+  EXPECT_THROW(poi_type_of_region(FunctionalRegion::kComprehensive),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cellscope

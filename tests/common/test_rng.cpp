@@ -1,0 +1,223 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace cellscope {
+namespace {
+
+TEST(Rng, IsDeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double s = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) s += rng.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), Error);
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    saw_lo |= v == 0;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScalesMeanAndSigma) {
+  Rng rng(17);
+  const int n = 100000;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(5.0, 2.0);
+  EXPECT_NEAR(mean(xs), 5.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanMatchesFormula) {
+  Rng rng(19);
+  const double mu = -0.5;
+  const double sigma = 1.0;
+  const int n = 300000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += rng.lognormal(mu, sigma);
+  // E[lognormal] = exp(mu + sigma^2/2) = exp(0) = 1.
+  EXPECT_NEAR(s / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(23);
+  const int n = 100000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += rng.exponential(4.0);
+  EXPECT_NEAR(s / n, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(29);
+  const int n = 100000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(s / n, 3.0, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(31);
+  const int n = 50000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += static_cast<double>(rng.poisson(500.0));
+  EXPECT_NEAR(s / n, 500.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(37);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, GammaMeanIsShapeTimesScale) {
+  Rng rng(41);
+  const int n = 100000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += rng.gamma(3.0, 2.0);
+  EXPECT_NEAR(s / n, 6.0, 0.1);
+}
+
+TEST(Rng, GammaHandlesShapeBelowOne) {
+  Rng rng(43);
+  const int n = 100000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gamma(0.5, 1.0);
+    EXPECT_GE(v, 0.0);
+    s += v;
+  }
+  EXPECT_NEAR(s / n, 0.5, 0.02);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) {
+    const auto w = rng.dirichlet({2.0, 3.0, 4.0});
+    const double total = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    for (const double v : w) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(Rng, DirichletMeansAreProportionalToAlpha) {
+  Rng rng(53);
+  std::vector<double> sums(3, 0.0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto w = rng.dirichlet({1.0, 2.0, 5.0});
+    for (int j = 0; j < 3; ++j) sums[j] += w[j];
+  }
+  EXPECT_NEAR(sums[0] / n, 1.0 / 8.0, 0.01);
+  EXPECT_NEAR(sums[1] / n, 2.0 / 8.0, 0.01);
+  EXPECT_NEAR(sums[2] / n, 5.0 / 8.0, 0.01);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(59);
+  std::vector<std::size_t> hits(3, 0);
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) ++hits[rng.categorical({1.0, 2.0, 6.0})];
+  EXPECT_NEAR(static_cast<double>(hits[0]) / n, 1.0 / 9.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits[1]) / n, 2.0 / 9.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / n, 6.0 / 9.0, 0.01);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeightEntries) {
+  Rng rng(61);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.categorical({0.0, 1.0, 0.0}), 1u);
+}
+
+TEST(Rng, CategoricalRejectsAllZero) {
+  Rng rng(61);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), Error);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(67);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(71);
+  Rng child = a.fork();
+  // The child stream must differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace cellscope

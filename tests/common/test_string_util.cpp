@@ -1,0 +1,52 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cellscope {
+namespace {
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtil, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(to_lower("AbC-12"), "abc-12");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("District-5", "District-"));
+  EXPECT_FALSE(starts_with("Dis", "District-"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+  EXPECT_EQ(format_double(2.5, 3), "2.500");
+}
+
+TEST(StringUtil, FormatBytesScalesUnits) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(1.5e3), "1.50 KB");
+  EXPECT_EQ(format_bytes(2.4e15), "2.40 PB");
+  EXPECT_EQ(format_bytes(-1.5e3), "-1.50 KB");
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("My Table");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("My Table"), std::string::npos);
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| alpha "), std::string::npos);
+  EXPECT_NE(s.find("| 22 "), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumnWidths) {
+  TextTable t;
+  t.set_header({"x"});
+  t.add_row({"longer-cell"});
+  const auto s = t.render();
+  // Header cell should be padded to the widest cell's width.
+  EXPECT_NE(s.find("| x           |"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMustMatchHeader) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  TextTable t;
+  EXPECT_THROW(t.set_header({}), Error);
+}
+
+TEST(TextTable, WorksWithoutHeader) {
+  TextTable t;
+  t.add_row({"a", "b", "c"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| a | b | c |"), std::string::npos);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t;
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, EmptyTableRendersTitleOnly) {
+  TextTable t("just title");
+  EXPECT_EQ(t.render(), "just title\n");
+}
+
+}  // namespace
+}  // namespace cellscope

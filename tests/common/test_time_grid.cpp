@@ -1,0 +1,93 @@
+#include "common/time_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+TEST(TimeGrid, ConstantsMatchThePaper) {
+  // §3.2: N = 4032 = 28 days of 10-minute slots.
+  EXPECT_EQ(TimeGrid::kSlots, 4032u);
+  EXPECT_EQ(TimeGrid::kSlotsPerDay, 144);
+  EXPECT_EQ(TimeGrid::kDays, 28);
+  EXPECT_EQ(TimeGrid::kSlotsPerWeek, 1008);
+}
+
+TEST(TimeGrid, DayOfSlot) {
+  EXPECT_EQ(TimeGrid::day(0), 0);
+  EXPECT_EQ(TimeGrid::day(143), 0);
+  EXPECT_EQ(TimeGrid::day(144), 1);
+  EXPECT_EQ(TimeGrid::day(TimeGrid::kSlots - 1), 27);
+}
+
+TEST(TimeGrid, DayZeroIsMonday) {
+  EXPECT_EQ(TimeGrid::day_of_week(0), 0);
+  EXPECT_TRUE(TimeGrid::is_weekday(0));
+}
+
+TEST(TimeGrid, WeekendDetection) {
+  // Day 5 = Saturday, day 6 = Sunday of week 0.
+  EXPECT_FALSE(TimeGrid::is_weekday(5 * 144));
+  EXPECT_FALSE(TimeGrid::is_weekday(6 * 144 + 100));
+  EXPECT_TRUE(TimeGrid::is_weekday(7 * 144));  // next Monday
+}
+
+TEST(TimeGrid, SlotOfDayWraps) {
+  EXPECT_EQ(TimeGrid::slot_of_day(0), 0);
+  EXPECT_EQ(TimeGrid::slot_of_day(145), 1);
+}
+
+TEST(TimeGrid, SlotOfWeekWraps) {
+  EXPECT_EQ(TimeGrid::slot_of_week(0), 0);
+  EXPECT_EQ(TimeGrid::slot_of_week(1008), 0);
+  EXPECT_EQ(TimeGrid::slot_of_week(1009), 1);
+}
+
+TEST(TimeGrid, HourOfDay) {
+  EXPECT_DOUBLE_EQ(TimeGrid::hour_of_day(0), 0.0);
+  EXPECT_DOUBLE_EQ(TimeGrid::hour_of_day(6), 1.0);
+  EXPECT_DOUBLE_EQ(TimeGrid::hour_of_day(129), 21.5);  // 21:30
+}
+
+TEST(TimeGrid, SlotAtRoundTrips) {
+  const auto slot = TimeGrid::slot_at(3, 21, 30);
+  EXPECT_EQ(TimeGrid::day(slot), 3);
+  EXPECT_DOUBLE_EQ(TimeGrid::hour_of_day(slot), 21.5);
+}
+
+TEST(TimeGrid, SlotAtRejectsUnalignedMinutes) {
+  EXPECT_THROW(TimeGrid::slot_at(0, 0, 5), Error);
+  EXPECT_THROW(TimeGrid::slot_at(28, 0, 0), Error);
+  EXPECT_THROW(TimeGrid::slot_at(0, 24, 0), Error);
+}
+
+TEST(TimeGrid, FormatTimeOfDay) {
+  EXPECT_EQ(TimeGrid::format_time_of_day(0), "00:00");
+  EXPECT_EQ(TimeGrid::format_time_of_day(129), "21:30");
+  EXPECT_EQ(TimeGrid::format_time_of_day(143), "23:50");
+}
+
+TEST(TimeGrid, FormatHourRoundsToTenMinutes) {
+  EXPECT_EQ(TimeGrid::format_hour(8.0), "08:00");
+  EXPECT_EQ(TimeGrid::format_hour(21.5), "21:30");
+  EXPECT_EQ(TimeGrid::format_hour(13.333), "13:20");
+}
+
+TEST(TimeGrid, WeekdayWeekendSlotsPartitionTheGrid) {
+  const auto weekdays = TimeGrid::weekday_slots();
+  const auto weekends = TimeGrid::weekend_slots();
+  EXPECT_EQ(weekdays.size() + weekends.size(), TimeGrid::kSlots);
+  // 20 weekdays and 8 weekend days per 4 weeks.
+  EXPECT_EQ(weekdays.size(), 20u * 144u);
+  EXPECT_EQ(weekends.size(), 8u * 144u);
+}
+
+TEST(TimeGrid, OutOfRangeSlotThrows) {
+  EXPECT_THROW(TimeGrid::day(TimeGrid::kSlots), Error);
+  EXPECT_THROW(TimeGrid::slot_of_day(TimeGrid::kSlots), Error);
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,65 @@
+#include "forecast/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+TEST(Metrics, MaeOfPerfectForecastIsZero) {
+  const std::vector<double> a = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(root_mean_squared_error(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(smape(a, a), 0.0);
+}
+
+TEST(Metrics, MaeMatchesHandComputation) {
+  const std::vector<double> a = {0, 0, 0, 0};
+  const std::vector<double> p = {1, -1, 2, 0};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, p), 1.0);
+}
+
+TEST(Metrics, RmsePenalizesOutliersMoreThanMae) {
+  const std::vector<double> a = {0, 0, 0, 0};
+  const std::vector<double> spread = {1, 1, 1, 1};
+  const std::vector<double> spike = {0, 0, 0, 4};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, spread),
+                   mean_absolute_error(a, spike));
+  EXPECT_LT(root_mean_squared_error(a, spread),
+            root_mean_squared_error(a, spike));
+}
+
+TEST(Metrics, SmapeIsBoundedByTwo) {
+  const std::vector<double> a = {1, 1};
+  const std::vector<double> p = {0, 1000};
+  const double s = smape(a, p);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LE(s, 2.0);
+}
+
+TEST(Metrics, SmapeIgnoresDoubleZeros) {
+  const std::vector<double> a = {0, 1};
+  const std::vector<double> p = {0, 1};
+  EXPECT_DOUBLE_EQ(smape(a, p), 0.0);
+}
+
+TEST(Metrics, SkillBelowOneBeatsMeanPredictor) {
+  const std::vector<double> a = {0, 10, 0, 10};
+  const std::vector<double> good = {1, 9, 1, 9};
+  const std::vector<double> constant(4, 5.0);
+  EXPECT_LT(mae_skill_vs_mean(a, good), 1.0);
+  EXPECT_DOUBLE_EQ(mae_skill_vs_mean(a, constant), 1.0);
+}
+
+TEST(Metrics, ValidateInput) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> bad = {1};
+  EXPECT_THROW(mean_absolute_error(a, bad), Error);
+  EXPECT_THROW(smape({}, {}), Error);
+  const std::vector<double> constant = {3, 3};
+  EXPECT_THROW(mae_skill_vs_mean(constant, a), Error);
+}
+
+}  // namespace
+}  // namespace cellscope

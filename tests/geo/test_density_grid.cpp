@@ -1,0 +1,89 @@
+#include "geo/density_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+BoundingBox test_box() { return {31.0, 31.2, 121.0, 121.2}; }
+
+TEST(DensityGrid, AccumulatesIntoCorrectCell) {
+  DensityGrid grid(test_box(), 10, 10);
+  grid.add({31.01, 121.01}, 5.0);  // bottom-left region
+  grid.add({31.19, 121.19}, 7.0);  // top-right region
+  EXPECT_DOUBLE_EQ(grid.value_at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(grid.value_at(9, 9), 7.0);
+  EXPECT_DOUBLE_EQ(grid.total(), 12.0);
+}
+
+TEST(DensityGrid, IgnoresPointsOutsideTheBox) {
+  DensityGrid grid(test_box(), 4, 4);
+  grid.add({30.0, 121.1}, 100.0);
+  grid.add({31.1, 122.5}, 100.0);
+  EXPECT_DOUBLE_EQ(grid.total(), 0.0);
+}
+
+TEST(DensityGrid, DensityDividesByCellArea) {
+  DensityGrid grid(test_box(), 2, 2);
+  grid.add({31.05, 121.05}, 10.0);
+  const double area = grid.cell_area_km2();
+  EXPECT_GT(area, 0.0);
+  EXPECT_NEAR(grid.density_at(0, 0), 10.0 / area, 1e-12);
+}
+
+TEST(DensityGrid, CellAreaSumsToBoxArea) {
+  DensityGrid grid(test_box(), 5, 7);
+  EXPECT_NEAR(grid.cell_area_km2() * 35.0, test_box().area_km2(), 1e-9);
+}
+
+TEST(DensityGrid, PeakFindsLargestCell) {
+  DensityGrid grid(test_box(), 3, 3);
+  grid.add({31.05, 121.05}, 1.0);
+  grid.add({31.15, 121.15}, 9.0);
+  grid.add({31.15, 121.15}, 1.0);
+  const auto peak = grid.peak();
+  EXPECT_DOUBLE_EQ(peak.value, 10.0);
+  EXPECT_EQ(peak.row, grid.row_of(31.15));
+  EXPECT_EQ(peak.col, grid.col_of(121.15));
+}
+
+TEST(DensityGrid, CellCenterRoundTrips) {
+  DensityGrid grid(test_box(), 8, 8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      const auto center = grid.cell_center(r, c);
+      EXPECT_EQ(grid.row_of(center.lat), r);
+      EXPECT_EQ(grid.col_of(center.lon), c);
+    }
+  }
+}
+
+TEST(DensityGrid, BoundaryCoordinatesClampToEdgeCells) {
+  DensityGrid grid(test_box(), 4, 4);
+  EXPECT_EQ(grid.row_of(31.2), 3u);   // top edge
+  EXPECT_EQ(grid.col_of(121.2), 3u);  // right edge
+  EXPECT_EQ(grid.row_of(31.0), 0u);
+}
+
+TEST(DensityGrid, ClearResets) {
+  DensityGrid grid(test_box(), 2, 2);
+  grid.add({31.1, 121.1}, 5.0);
+  grid.clear();
+  EXPECT_DOUBLE_EQ(grid.total(), 0.0);
+}
+
+TEST(DensityGrid, RejectsDegenerateConstruction) {
+  EXPECT_THROW(DensityGrid(test_box(), 0, 4), Error);
+  EXPECT_THROW(DensityGrid({31.0, 31.0, 121.0, 121.2}, 2, 2), Error);
+}
+
+TEST(DensityGrid, OutOfRangeCellAccessThrows) {
+  DensityGrid grid(test_box(), 2, 2);
+  EXPECT_THROW(grid.value_at(2, 0), Error);
+  EXPECT_THROW(grid.cell_center(0, 2), Error);
+}
+
+}  // namespace
+}  // namespace cellscope

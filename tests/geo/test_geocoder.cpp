@@ -1,0 +1,87 @@
+#include "geo/geocoder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace cellscope {
+namespace {
+
+TEST(AddressCodec, EncodeDecodeRoundTripsWithinTolerance) {
+  const auto box = shanghai_bbox();
+  const AddressCodec codec(box);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const LatLon p{rng.uniform(box.lat_min, box.lat_max),
+                   rng.uniform(box.lon_min, box.lon_max)};
+    const auto decoded = codec.decode(codec.encode(p));
+    ASSERT_TRUE(decoded.has_value());
+    // The address scheme quantizes to roughly 10 m.
+    EXPECT_LT(haversine_m(p, *decoded), 15.0);
+  }
+}
+
+TEST(AddressCodec, EncodingIsDeterministic) {
+  const AddressCodec codec(shanghai_bbox());
+  const LatLon p{31.2, 121.5};
+  EXPECT_EQ(codec.encode(p), codec.encode(p));
+}
+
+TEST(AddressCodec, AddressHasExpectedShape) {
+  const AddressCodec codec(shanghai_bbox());
+  const auto address = codec.encode({31.2, 121.5});
+  EXPECT_TRUE(address.starts_with("District-"));
+  EXPECT_NE(address.find("/Street-"), std::string::npos);
+  EXPECT_NE(address.find("/No-"), std::string::npos);
+}
+
+TEST(AddressCodec, MalformedAddressesDecodeToNull) {
+  const AddressCodec codec(shanghai_bbox());
+  EXPECT_FALSE(codec.decode("").has_value());
+  EXPECT_FALSE(codec.decode("garbage").has_value());
+  EXPECT_FALSE(codec.decode("District-1/Street-2").has_value());
+  EXPECT_FALSE(codec.decode("District-x/Street-2/No-3").has_value());
+  EXPECT_FALSE(codec.decode("District-1/Street-2/No-99999999").has_value());
+  EXPECT_FALSE(codec.decode("Distric-1/Street-2/No-3").has_value());
+}
+
+TEST(Geocoder, ResolvesAddressesItIssued) {
+  Geocoder geocoder(shanghai_bbox());
+  const LatLon p{31.15, 121.35};
+  const auto address = geocoder.reverse_geocode(p);
+  const auto resolved = geocoder.geocode(address);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_LT(haversine_m(p, *resolved), 15.0);
+}
+
+TEST(Geocoder, CachesRepeatLookups) {
+  Geocoder geocoder(shanghai_bbox());
+  const auto address = geocoder.reverse_geocode({31.1, 121.4});
+  geocoder.geocode(address);
+  geocoder.geocode(address);
+  geocoder.geocode(address);
+  EXPECT_EQ(geocoder.api_calls(), 1u);
+  EXPECT_EQ(geocoder.cache_hits(), 2u);
+}
+
+TEST(Geocoder, QuotaLimitsUncachedLookups) {
+  Geocoder geocoder(shanghai_bbox(), {.quota = 2});
+  const auto a1 = geocoder.reverse_geocode({31.10, 121.30});
+  const auto a2 = geocoder.reverse_geocode({31.11, 121.31});
+  const auto a3 = geocoder.reverse_geocode({31.12, 121.32});
+  geocoder.geocode(a1);
+  geocoder.geocode(a2);
+  geocoder.geocode(a1);  // cache hit — free
+  EXPECT_THROW(geocoder.geocode(a3), Error);
+}
+
+TEST(Geocoder, MalformedLookupsAreCachedToo) {
+  Geocoder geocoder(shanghai_bbox());
+  EXPECT_FALSE(geocoder.geocode("not-an-address").has_value());
+  EXPECT_FALSE(geocoder.geocode("not-an-address").has_value());
+  EXPECT_EQ(geocoder.api_calls(), 1u);
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,79 @@
+#include "geo/latlon.h"
+
+#include <gtest/gtest.h>
+
+namespace cellscope {
+namespace {
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const LatLon p{31.2, 121.5};
+  EXPECT_DOUBLE_EQ(haversine_m(p, p), 0.0);
+}
+
+TEST(Haversine, IsSymmetric) {
+  const LatLon a{31.0, 121.0};
+  const LatLon b{31.3, 121.6};
+  EXPECT_DOUBLE_EQ(haversine_m(a, b), haversine_m(b, a));
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  const LatLon a{31.0, 121.0};
+  const LatLon b{32.0, 121.0};
+  EXPECT_NEAR(haversine_km(a, b), 111.2, 0.5);
+}
+
+TEST(Haversine, LongitudeShrinksWithLatitude) {
+  const LatLon eq_a{0.0, 0.0};
+  const LatLon eq_b{0.0, 1.0};
+  const LatLon hi_a{60.0, 0.0};
+  const LatLon hi_b{60.0, 1.0};
+  // cos(60°) = 0.5: a degree of longitude at 60°N is half as long.
+  EXPECT_NEAR(haversine_km(hi_a, hi_b) / haversine_km(eq_a, eq_b), 0.5, 0.01);
+}
+
+TEST(Haversine, TriangleInequalityHolds) {
+  const LatLon a{31.0, 121.2};
+  const LatLon b{31.2, 121.4};
+  const LatLon c{31.4, 121.7};
+  EXPECT_LE(haversine_m(a, c), haversine_m(a, b) + haversine_m(b, c) + 1e-9);
+}
+
+TEST(BoundingBox, ContainsIsInclusive) {
+  const BoundingBox box{30.0, 31.0, 120.0, 122.0};
+  EXPECT_TRUE(box.contains({30.0, 120.0}));
+  EXPECT_TRUE(box.contains({31.0, 122.0}));
+  EXPECT_TRUE(box.contains({30.5, 121.0}));
+  EXPECT_FALSE(box.contains({29.99, 121.0}));
+  EXPECT_FALSE(box.contains({30.5, 122.01}));
+}
+
+TEST(BoundingBox, CenterIsMidpoint) {
+  const BoundingBox box{30.0, 31.0, 120.0, 122.0};
+  EXPECT_DOUBLE_EQ(box.center().lat, 30.5);
+  EXPECT_DOUBLE_EQ(box.center().lon, 121.0);
+}
+
+TEST(BoundingBox, ClampProjectsOutsidePoints) {
+  const BoundingBox box{30.0, 31.0, 120.0, 122.0};
+  const auto p = box.clamp({35.0, 119.0});
+  EXPECT_DOUBLE_EQ(p.lat, 31.0);
+  EXPECT_DOUBLE_EQ(p.lon, 120.0);
+  const auto inside = box.clamp({30.5, 121.0});
+  EXPECT_DOUBLE_EQ(inside.lat, 30.5);
+}
+
+TEST(BoundingBox, AreaMatchesExtentProduct) {
+  const BoundingBox box{31.0, 32.0, 121.0, 122.0};
+  EXPECT_NEAR(box.area_km2(), box.height_km() * box.width_km(), 1e-9);
+  EXPECT_NEAR(box.height_km(), 111.32, 0.01);
+}
+
+TEST(ShanghaiBox, CoversTheStudyArea) {
+  const auto box = shanghai_bbox();
+  EXPECT_TRUE(box.contains({31.23, 121.47}));  // central Shanghai
+  EXPECT_GT(box.area_km2(), 1000.0);
+  EXPECT_LT(box.area_km2(), 10000.0);
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,267 @@
+// End-to-end integration: the full Experiment pipeline must reproduce the
+// paper's headline findings on the synthetic city.
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/poi_features.h"
+#include "common/error.h"
+#include "analysis/time_features.h"
+#include "common/stats.h"
+#include "dsp/spectrum.h"
+
+namespace cellscope {
+namespace {
+
+/// One shared experiment for the whole suite (running it per-test would
+/// dominate CI time).
+const Experiment& shared_experiment() {
+  static const Experiment experiment = [] {
+    ExperimentConfig config;
+    config.n_towers = 500;
+    config.seed = 2015;
+    return Experiment::run(config);
+  }();
+  return experiment;
+}
+
+TEST(Experiment, FindsExactlyFivePatterns) {
+  // The paper's headline: five basic time-domain patterns.
+  EXPECT_EQ(shared_experiment().n_clusters(), 5u);
+}
+
+TEST(Experiment, DbiSweepHasItsMinimumAtTheChosenCut) {
+  const auto& sweep = shared_experiment().dbi_sweep_result();
+  const auto& chosen = shared_experiment().chosen_cut();
+  for (const auto& point : sweep) {
+    if (point.valid) EXPECT_GE(point.dbi, chosen.dbi);
+  }
+}
+
+TEST(Experiment, EveryRegionGetsExactlyOneCluster) {
+  std::set<FunctionalRegion> seen;
+  for (const auto r : shared_experiment().labeling().region_of_cluster)
+    EXPECT_TRUE(seen.insert(r).second) << region_name(r);
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Experiment, LabelAccuracyIsHigh) {
+  EXPECT_GT(shared_experiment().validation().accuracy, 0.95);
+}
+
+TEST(Experiment, ClusterSharesMatchTable1) {
+  // Table 1 shares within a few percentage points.
+  const auto& e = shared_experiment();
+  const auto mix = table1_region_mix();
+  for (std::size_t c = 0; c < e.n_clusters(); ++c) {
+    const auto region = e.labeling().region_of_cluster[c];
+    const double share =
+        static_cast<double>(e.rows_of_cluster(c).size()) /
+        static_cast<double>(e.config().n_towers);
+    EXPECT_NEAR(share, mix[static_cast<int>(region)], 0.05)
+        << region_name(region);
+  }
+}
+
+TEST(Experiment, TimeDomainSignaturesMatchThePaper) {
+  const auto& e = shared_experiment();
+  // Transport and office have strong weekday/weekend asymmetry; resident
+  // does not (Fig. 10a).
+  const auto transport = compute_time_features(
+      e.region_aggregate(FunctionalRegion::kTransport));
+  const auto office =
+      compute_time_features(e.region_aggregate(FunctionalRegion::kOffice));
+  const auto resident = compute_time_features(
+      e.region_aggregate(FunctionalRegion::kResident));
+  EXPECT_GT(transport.weekday_weekend_ratio, 1.25);
+  EXPECT_GT(office.weekday_weekend_ratio, 1.5);
+  EXPECT_NEAR(resident.weekday_weekend_ratio, 1.0, 0.15);
+  // Resident peaks in the evening; office around midday (Table 5).
+  EXPECT_NEAR(resident.weekday.peak_hour, 21.5, 1.0);
+  EXPECT_GT(office.weekday.peak_hour, 9.0);
+  EXPECT_LT(office.weekday.peak_hour, 14.5);
+  // Valleys in the early morning for every pattern (the paper: between
+  // 4:00 and 5:00; transport's valley is deep and flat, so sampling noise
+  // moves its argmin by an hour or so).
+  for (const auto r : all_regions()) {
+    const auto f = compute_time_features(e.region_aggregate(r));
+    EXPECT_GT(f.weekday.valley_hour, 2.0) << region_name(r);
+    EXPECT_LT(f.weekday.valley_hour, 6.5) << region_name(r);
+  }
+}
+
+TEST(Experiment, AggregateSpectrumReconstructsWithLowLoss) {
+  // Fig. 12: three components retain > 94 % of aggregate energy.
+  const auto aggregate = shared_experiment().total_aggregate();
+  const Spectrum spectrum(aggregate);
+  EXPECT_LT(energy_loss(aggregate, spectrum.reconstruct_principal()), 0.06);
+}
+
+TEST(Experiment, WeeklyPhasesSeparateOfficeFromResidentByPi) {
+  // Fig. 15a: office weekly phase vs resident/entertainment ≈ π apart.
+  const auto& e = shared_experiment();
+  const auto& features = e.freq_features();
+  auto mean_phase = [&](FunctionalRegion r) {
+    std::vector<double> phases;
+    for (const auto row : e.rows_of_cluster(*e.cluster_of_region(r)))
+      phases.push_back(features[row].phase_week);
+    return circular_mean(phases);
+  };
+  double gap = std::fabs(mean_phase(FunctionalRegion::kOffice) -
+                         mean_phase(FunctionalRegion::kResident));
+  gap = std::min(gap, 2.0 * M_PI - gap);
+  EXPECT_NEAR(gap, M_PI, 0.5);
+}
+
+TEST(Experiment, DailyPhaseOrderingEncodesCommuting) {
+  // Fig. 15b / 16b: mean daily phase increases along
+  // resident -> comprehensive -> transport -> office.
+  const auto& e = shared_experiment();
+  const auto& features = e.freq_features();
+  auto mean_phase = [&](FunctionalRegion r) {
+    std::vector<double> phases;
+    for (const auto row : e.rows_of_cluster(*e.cluster_of_region(r)))
+      phases.push_back(features[row].phase_day);
+    return circular_mean(phases);
+  };
+  const double resident = mean_phase(FunctionalRegion::kResident);
+  const double comprehensive = mean_phase(FunctionalRegion::kComprehensive);
+  const double transport = mean_phase(FunctionalRegion::kTransport);
+  const double office = mean_phase(FunctionalRegion::kOffice);
+  EXPECT_LT(resident, comprehensive);
+  EXPECT_LT(comprehensive, transport);
+  EXPECT_LT(transport, office);
+}
+
+TEST(Experiment, TransportHasTheStrongestHalfDayComponent) {
+  // Fig. 16c: transport's double hump dominates the half-day amplitude.
+  const auto& e = shared_experiment();
+  const auto& features = e.freq_features();
+  auto mean_amp = [&](FunctionalRegion r) {
+    std::vector<double> amps;
+    for (const auto row : e.rows_of_cluster(*e.cluster_of_region(r)))
+      amps.push_back(features[row].amp_half_day);
+    return mean(amps);
+  };
+  const double transport = mean_amp(FunctionalRegion::kTransport);
+  for (const auto r :
+       {FunctionalRegion::kOffice, FunctionalRegion::kEntertainment,
+        FunctionalRegion::kComprehensive}) {
+    EXPECT_GT(transport, mean_amp(r)) << region_name(r);
+  }
+}
+
+TEST(Experiment, OfficeHasTheStrongestWeeklyComponent) {
+  // Fig. 16a.
+  const auto& e = shared_experiment();
+  const auto& features = e.freq_features();
+  auto mean_amp = [&](FunctionalRegion r) {
+    std::vector<double> amps;
+    for (const auto row : e.rows_of_cluster(*e.cluster_of_region(r)))
+      amps.push_back(features[row].amp_week);
+    return mean(amps);
+  };
+  const double office = mean_amp(FunctionalRegion::kOffice);
+  for (const auto r :
+       {FunctionalRegion::kResident, FunctionalRegion::kEntertainment,
+        FunctionalRegion::kComprehensive}) {
+    EXPECT_GT(office, mean_amp(r)) << region_name(r);
+  }
+}
+
+TEST(Experiment, ComprehensiveTracksTheCityAverage) {
+  // Fig. 11 bottom row: comprehensive ≈ average of all towers.
+  const auto& e = shared_experiment();
+  const auto comprehensive =
+      e.region_aggregate(FunctionalRegion::kComprehensive);
+  const auto total = e.total_aggregate();
+  EXPECT_GT(pearson(comprehensive, total), 0.9);
+}
+
+TEST(Experiment, RepresentativesBelongToTheirClusters) {
+  const auto& e = shared_experiment();
+  const auto& reps = e.representatives();
+  for (int r = 0; r < 4; ++r) {
+    const auto cluster = e.cluster_of_region(static_cast<FunctionalRegion>(r));
+    ASSERT_TRUE(cluster.has_value());
+    EXPECT_EQ(static_cast<std::size_t>(e.labels()[reps[r]]), *cluster);
+  }
+}
+
+TEST(Experiment, ComprehensiveTowersDecomposeWithSmallResidual) {
+  // §5.3: comprehensive towers ≈ convex combinations of the four primary
+  // components in the (A28, P28, A56) space.
+  const auto& e = shared_experiment();
+  const auto& features = e.freq_features();
+  const auto& reps = e.representatives();
+  std::array<std::array<double, 3>, 4> primaries;
+  for (int i = 0; i < 4; ++i) primaries[i] = features[reps[i]].qp_feature();
+
+  const auto rows =
+      e.rows_of_cluster(*e.cluster_of_region(FunctionalRegion::kComprehensive));
+  double total_residual = 0.0;
+  for (const auto row : rows) {
+    const auto d = decompose_feature(features[row].qp_feature(), primaries);
+    total_residual += d.residual;
+  }
+  EXPECT_LT(total_residual / static_cast<double>(rows.size()), 0.25);
+}
+
+TEST(Experiment, PoiValidationShowsDominanceDiagonal) {
+  // Table 3: each pure cluster is dominated by its own POI type when the
+  // columns are compared across clusters.
+  const auto& e = shared_experiment();
+  const auto normalized = normalized_poi_by_cluster(e.poi_counts(),
+                                                    e.labels());
+  for (const PoiType type : all_poi_types()) {
+    const auto own_cluster = e.cluster_of_region(region_of_poi_type(type));
+    ASSERT_TRUE(own_cluster.has_value());
+    for (std::size_t c = 0; c < normalized.size(); ++c) {
+      if (c == *own_cluster) continue;
+      EXPECT_GE(normalized[*own_cluster][static_cast<int>(type)],
+                normalized[c][static_cast<int>(type)])
+          << poi_type_name(type) << " vs cluster " << c;
+    }
+  }
+}
+
+TEST(Experiment, IsDeterministic) {
+  ExperimentConfig config;
+  config.n_towers = 120;
+  config.seed = 77;
+  const auto a = Experiment::run(config);
+  const auto b = Experiment::run(config);
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_EQ(a.chosen_cut().k, b.chosen_cut().k);
+  EXPECT_DOUBLE_EQ(a.chosen_cut().dbi, b.chosen_cut().dbi);
+}
+
+TEST(Experiment, FullLengthClusteringAlsoFindsFivePatterns) {
+  // The weekly fold is an optimization, not a crutch: clustering the full
+  // 4032-dim vectors gives the same answer. The fold averages per-slot
+  // noise over 4 weeks (a 2x SNR gain); match that gain here so the two
+  // representations are compared at equal signal-to-noise.
+  ExperimentConfig config;
+  config.n_towers = 250;
+  config.fold_weekly = false;
+  config.intensity.noise_cv = 0.06;
+  const auto e = Experiment::run(config);
+  EXPECT_EQ(e.n_clusters(), 5u);
+  EXPECT_GT(e.validation().accuracy, 0.95);
+}
+
+TEST(Experiment, ValidatesConfig) {
+  ExperimentConfig tiny;
+  tiny.n_towers = 5;
+  EXPECT_THROW(Experiment::run(tiny), Error);
+  ExperimentConfig bad_sweep;
+  bad_sweep.k_min = 8;
+  bad_sweep.k_max = 3;
+  EXPECT_THROW(Experiment::run(bad_sweep), Error);
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,107 @@
+#include "mapred/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cellscope {
+namespace {
+
+TEST(MapReduce, WordCountStyleAggregation) {
+  const std::vector<int> inputs = {1, 2, 3, 1, 2, 1};
+  ThreadPool pool(3);
+  const auto result = map_reduce<int, int, int>(
+      std::span<const int>(inputs), pool,
+      [](const int& x, const auto& emit) { emit(x, 1); },
+      [](int& acc, int v) { acc += v; });
+  EXPECT_EQ(result.at(1), 3);
+  EXPECT_EQ(result.at(2), 2);
+  EXPECT_EQ(result.at(3), 1);
+}
+
+TEST(MapReduce, EmptyInputYieldsEmptyResult) {
+  const std::vector<int> inputs;
+  ThreadPool pool(2);
+  const auto result = map_reduce<int, int, int>(
+      std::span<const int>(inputs), pool,
+      [](const int& x, const auto& emit) { emit(x, 1); },
+      [](int& acc, int v) { acc += v; });
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(MapReduce, MapperMayEmitMultipleKeys) {
+  const std::vector<int> inputs = {5, 10};
+  ThreadPool pool(2);
+  const auto result = map_reduce<int, std::string, int>(
+      std::span<const int>(inputs), pool,
+      [](const int& x, const auto& emit) {
+        emit("sum", x);
+        emit("count", 1);
+      },
+      [](int& acc, int v) { acc += v; });
+  EXPECT_EQ(result.at("sum"), 15);
+  EXPECT_EQ(result.at("count"), 2);
+}
+
+TEST(MapReduce, MapperMayEmitNothing) {
+  const std::vector<int> inputs = {1, 2, 3, 4};
+  ThreadPool pool(2);
+  const auto result = map_reduce<int, int, int>(
+      std::span<const int>(inputs), pool,
+      [](const int& x, const auto& emit) {
+        if (x % 2 == 0) emit(x, x);
+      },
+      [](int& acc, int v) { acc += v; });
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.contains(2));
+  EXPECT_FALSE(result.contains(1));
+}
+
+TEST(MapReduce, ResultIsIndependentOfChunkSize) {
+  std::vector<int> inputs(5000);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    inputs[i] = static_cast<int>(i % 97);
+  ThreadPool pool(4);
+
+  auto run = [&](std::size_t chunk) {
+    MapReduceOptions options;
+    options.chunk_size = chunk;
+    return map_reduce<int, int, long>(
+        std::span<const int>(inputs), pool,
+        [](const int& x, const auto& emit) { emit(x % 10, static_cast<long>(x)); },
+        [](long& acc, long v) { acc += v; }, options);
+  };
+
+  const auto a = run(1);
+  const auto b = run(64);
+  const auto c = run(100000);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(MapReduce, LargeInputSumsCorrectly) {
+  std::vector<long> inputs(100000);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    inputs[i] = static_cast<long>(i);
+  ThreadPool pool(4);
+  const auto result = map_reduce<long, int, long>(
+      std::span<const long>(inputs), pool,
+      [](const long& x, const auto& emit) { emit(0, x); },
+      [](long& acc, long v) { acc += v; });
+  EXPECT_EQ(result.at(0), 100000L * 99999L / 2);
+}
+
+TEST(MapReduce, ChunkSizeZeroRejected) {
+  const std::vector<int> inputs = {1};
+  ThreadPool pool(1);
+  MapReduceOptions options;
+  options.chunk_size = 0;
+  EXPECT_THROW((map_reduce<int, int, int>(
+                   std::span<const int>(inputs), pool,
+                   [](const int& x, const auto& emit) { emit(x, 1); },
+                   [](int& acc, int v) { acc += v; }, options)),
+               Error);
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,215 @@
+#include "ml/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace cellscope {
+namespace {
+
+/// Well-separated Gaussian blobs with known memberships.
+struct Blobs {
+  std::vector<std::vector<double>> points;
+  std::vector<int> truth;
+};
+
+Blobs make_blobs(std::size_t k, std::size_t per_cluster, double separation,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  Blobs blobs;
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      blobs.points.push_back({separation * static_cast<double>(c) +
+                                  rng.normal(0.0, 0.3),
+                              rng.normal(0.0, 0.3)});
+      blobs.truth.push_back(static_cast<int>(c));
+    }
+  }
+  return blobs;
+}
+
+/// True iff the two labelings induce identical partitions.
+bool same_partition(const std::vector<int>& a, const std::vector<int>& b) {
+  std::map<int, int> fwd;
+  std::map<int, int> rev;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (fwd.contains(a[i]) && fwd[a[i]] != b[i]) return false;
+    if (rev.contains(b[i]) && rev[b[i]] != a[i]) return false;
+    fwd[a[i]] = b[i];
+    rev[b[i]] = a[i];
+  }
+  return true;
+}
+
+TEST(Hierarchical, RecoversWellSeparatedBlobs) {
+  const auto blobs = make_blobs(4, 25, 10.0, 1);
+  const auto dendrogram =
+      Dendrogram::run(DistanceMatrix::compute(blobs.points),
+                      Linkage::kAverage);
+  EXPECT_TRUE(same_partition(dendrogram.cut_k(4), blobs.truth));
+}
+
+TEST(Hierarchical, AllLinkagesRecoverSeparatedBlobs) {
+  const auto blobs = make_blobs(3, 20, 12.0, 2);
+  for (const auto linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    const auto dendrogram =
+        Dendrogram::run(DistanceMatrix::compute(blobs.points), linkage);
+    EXPECT_TRUE(same_partition(dendrogram.cut_k(3), blobs.truth));
+  }
+}
+
+TEST(Hierarchical, HasExactlyNMinusOneMerges) {
+  const auto blobs = make_blobs(2, 10, 5.0, 3);
+  const auto dendrogram = Dendrogram::run(
+      DistanceMatrix::compute(blobs.points), Linkage::kAverage);
+  EXPECT_EQ(dendrogram.merges().size(), 19u);
+  EXPECT_EQ(dendrogram.n(), 20u);
+}
+
+TEST(Hierarchical, MergeDistancesAreSorted) {
+  const auto blobs = make_blobs(3, 15, 6.0, 4);
+  const auto dendrogram = Dendrogram::run(
+      DistanceMatrix::compute(blobs.points), Linkage::kAverage);
+  const auto& merges = dendrogram.merges();
+  for (std::size_t i = 1; i < merges.size(); ++i)
+    EXPECT_LE(merges[i - 1].distance, merges[i].distance);
+}
+
+TEST(Hierarchical, CutKOneIsOneCluster) {
+  const auto blobs = make_blobs(2, 8, 5.0, 5);
+  const auto dendrogram = Dendrogram::run(
+      DistanceMatrix::compute(blobs.points), Linkage::kAverage);
+  const auto labels = dendrogram.cut_k(1);
+  for (const int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(Hierarchical, CutKNIsAllSingletons) {
+  const auto blobs = make_blobs(2, 8, 5.0, 6);
+  const auto dendrogram = Dendrogram::run(
+      DistanceMatrix::compute(blobs.points), Linkage::kAverage);
+  const auto labels = dendrogram.cut_k(16);
+  std::set<int> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 16u);
+}
+
+TEST(Hierarchical, LabelsAreDenseAndOrderedBySmallestMember) {
+  const auto blobs = make_blobs(3, 10, 8.0, 7);
+  const auto dendrogram = Dendrogram::run(
+      DistanceMatrix::compute(blobs.points), Linkage::kAverage);
+  const auto labels = dendrogram.cut_k(3);
+  // Point 0 must be labeled 0; the first point with a different label
+  // must be labeled 1; and so on.
+  EXPECT_EQ(labels[0], 0);
+  int next_expected = 1;
+  for (const int l : labels) {
+    EXPECT_LE(l, next_expected);
+    if (l == next_expected) ++next_expected;
+  }
+  EXPECT_EQ(num_clusters(labels), 3u);
+}
+
+TEST(Hierarchical, ThresholdCutMatchesCountCut) {
+  const auto blobs = make_blobs(4, 12, 9.0, 8);
+  const auto dendrogram = Dendrogram::run(
+      DistanceMatrix::compute(blobs.points), Linkage::kAverage);
+  // A threshold below the first cross-blob merge yields exactly 4
+  // clusters; within-blob merges are all far smaller.
+  const auto& merges = dendrogram.merges();
+  const double threshold =
+      (merges[merges.size() - 4].distance + merges[merges.size() - 3].distance) / 2.0;
+  EXPECT_EQ(dendrogram.cluster_count_at(threshold), 4u);
+  EXPECT_TRUE(same_partition(dendrogram.cut_threshold(threshold),
+                             dendrogram.cut_k(4)));
+}
+
+TEST(Hierarchical, ThresholdBelowAllMergesIsSingletons) {
+  const auto blobs = make_blobs(2, 6, 5.0, 9);
+  const auto dendrogram = Dendrogram::run(
+      DistanceMatrix::compute(blobs.points), Linkage::kAverage);
+  EXPECT_EQ(dendrogram.cluster_count_at(-1.0), 12u);
+}
+
+TEST(Hierarchical, ThresholdAboveAllMergesIsOneCluster) {
+  const auto blobs = make_blobs(2, 6, 5.0, 10);
+  const auto dendrogram = Dendrogram::run(
+      DistanceMatrix::compute(blobs.points), Linkage::kAverage);
+  EXPECT_EQ(dendrogram.cluster_count_at(1e18), 1u);
+}
+
+TEST(Hierarchical, SingleLinkageChainsCompleteLinkageDoesNot) {
+  // A chain of points at distance 1 each, with a gap of 1.5 to a far
+  // point. Single linkage absorbs the chain before the gap; complete
+  // linkage's cluster diameter grows and can behave differently. Verify
+  // the classic chaining property: single linkage merges the whole chain
+  // at threshold 1.
+  std::vector<std::vector<double>> chain;
+  for (int i = 0; i < 8; ++i)
+    chain.push_back({static_cast<double>(i), 0.0});
+  const auto single =
+      Dendrogram::run(DistanceMatrix::compute(chain), Linkage::kSingle);
+  EXPECT_EQ(single.cluster_count_at(1.0), 1u);
+  const auto complete =
+      Dendrogram::run(DistanceMatrix::compute(chain), Linkage::kComplete);
+  EXPECT_GT(complete.cluster_count_at(1.0), 1u);
+}
+
+TEST(Hierarchical, AverageLinkageMergeDistanceIsMeanPairwise) {
+  // Two pairs: {0,1} at x=0,1 and {2,3} at x=10,11. The final average-
+  // linkage merge distance must be the mean of all 4 cross distances:
+  // (10 + 11 + 9 + 10) / 4 = 10.
+  std::vector<std::vector<double>> points = {
+      {0.0}, {1.0}, {10.0}, {11.0}};
+  const auto dendrogram =
+      Dendrogram::run(DistanceMatrix::compute(points), Linkage::kAverage);
+  EXPECT_NEAR(dendrogram.merges().back().distance, 10.0, 1e-5);
+}
+
+TEST(Hierarchical, CutKValidatesRange) {
+  const auto blobs = make_blobs(2, 5, 5.0, 11);
+  const auto dendrogram = Dendrogram::run(
+      DistanceMatrix::compute(blobs.points), Linkage::kAverage);
+  EXPECT_THROW(dendrogram.cut_k(0), Error);
+  EXPECT_THROW(dendrogram.cut_k(11), Error);
+}
+
+TEST(ClusterHelpers, NumClustersAndMembers) {
+  const std::vector<int> labels = {0, 1, 0, 2, 1};
+  EXPECT_EQ(num_clusters(labels), 3u);
+  const auto members = cluster_members(labels);
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(members[1], (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(members[2], (std::vector<std::size_t>{3}));
+}
+
+TEST(ClusterHelpers, NegativeLabelsRejected) {
+  EXPECT_THROW(num_clusters({0, -1}), Error);
+  EXPECT_THROW(num_clusters({}), Error);
+}
+
+// Parameterized robustness: blob recovery across cluster counts and seeds.
+class HierarchicalRecovery
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HierarchicalRecovery, RecoversBlobsAcrossShapes) {
+  const auto [k, seed] = GetParam();
+  const auto blobs =
+      make_blobs(static_cast<std::size_t>(k), 15, 10.0,
+                 static_cast<std::uint64_t>(seed));
+  const auto dendrogram = Dendrogram::run(
+      DistanceMatrix::compute(blobs.points), Linkage::kAverage);
+  EXPECT_TRUE(same_partition(dendrogram.cut_k(static_cast<std::size_t>(k)),
+                             blobs.truth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HierarchicalRecovery,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 7),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace cellscope

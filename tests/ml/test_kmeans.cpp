@@ -1,0 +1,155 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace cellscope {
+namespace {
+
+struct Blobs {
+  std::vector<std::vector<double>> points;
+  std::vector<int> truth;
+};
+
+Blobs make_blobs(std::size_t k, std::size_t per_cluster,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  Blobs blobs;
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      blobs.points.push_back(
+          {10.0 * static_cast<double>(c) + rng.normal(0.0, 0.4),
+           rng.normal(0.0, 0.4)});
+      blobs.truth.push_back(static_cast<int>(c));
+    }
+  }
+  return blobs;
+}
+
+bool same_partition(const std::vector<int>& a, const std::vector<int>& b) {
+  std::map<int, int> fwd;
+  std::map<int, int> rev;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (fwd.contains(a[i]) && fwd[a[i]] != b[i]) return false;
+    if (rev.contains(b[i]) && rev[b[i]] != a[i]) return false;
+    fwd[a[i]] = b[i];
+    rev[b[i]] = a[i];
+  }
+  return true;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  const auto blobs = make_blobs(4, 30, 1);
+  KMeansOptions options;
+  options.k = 4;
+  const auto result = kmeans(blobs.points, options);
+  EXPECT_TRUE(same_partition(result.labels, blobs.truth));
+}
+
+TEST(KMeans, IsDeterministicInSeed) {
+  const auto blobs = make_blobs(3, 20, 2);
+  KMeansOptions options;
+  options.k = 3;
+  const auto a = kmeans(blobs.points, options);
+  const auto b = kmeans(blobs.points, options);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, InertiaIsSumOfSquaredDistances) {
+  const auto blobs = make_blobs(2, 15, 3);
+  KMeansOptions options;
+  options.k = 2;
+  const auto result = kmeans(blobs.points, options);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < blobs.points.size(); ++i)
+    expected += squared_distance(
+        blobs.points[i],
+        result.centroids[static_cast<std::size_t>(result.labels[i])]);
+  EXPECT_NEAR(result.inertia, expected, 1e-9);
+}
+
+TEST(KMeans, CentroidsAreClusterMeans) {
+  const auto blobs = make_blobs(2, 20, 4);
+  KMeansOptions options;
+  options.k = 2;
+  const auto result = kmeans(blobs.points, options);
+  for (std::size_t c = 0; c < 2; ++c) {
+    std::vector<double> mean_point(2, 0.0);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < blobs.points.size(); ++i) {
+      if (static_cast<std::size_t>(result.labels[i]) != c) continue;
+      ++count;
+      for (int d = 0; d < 2; ++d) mean_point[d] += blobs.points[i][d];
+    }
+    for (auto& v : mean_point) v /= static_cast<double>(count);
+    EXPECT_NEAR(result.centroids[c][0], mean_point[0], 1e-9);
+    EXPECT_NEAR(result.centroids[c][1], mean_point[1], 1e-9);
+  }
+}
+
+TEST(KMeans, MoreClustersNeverIncreaseInertia) {
+  const auto blobs = make_blobs(3, 25, 5);
+  double previous = 1e300;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    KMeansOptions options;
+    options.k = k;
+    options.seed = 7;
+    const auto result = kmeans(blobs.points, options);
+    EXPECT_LE(result.inertia, previous * 1.001) << "k = " << k;
+    previous = result.inertia;
+  }
+}
+
+TEST(KMeans, KOneCentroidIsGlobalMean) {
+  const auto blobs = make_blobs(2, 10, 6);
+  KMeansOptions options;
+  options.k = 1;
+  const auto result = kmeans(blobs.points, options);
+  std::vector<double> global(2, 0.0);
+  for (const auto& p : blobs.points)
+    for (int d = 0; d < 2; ++d) global[d] += p[d];
+  for (auto& v : global) v /= static_cast<double>(blobs.points.size());
+  EXPECT_NEAR(result.centroids[0][0], global[0], 1e-9);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  // Distinct points, one cluster each.
+  std::vector<std::vector<double>> points = {{0.0}, {5.0}, {9.0}};
+  KMeansOptions options;
+  options.k = 3;
+  const auto result = kmeans(points, options);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+  std::set<int> distinct(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(KMeans, LabelsAreWithinRange) {
+  const auto blobs = make_blobs(3, 10, 8);
+  KMeansOptions options;
+  options.k = 5;
+  const auto result = kmeans(blobs.points, options);
+  for (const int l : result.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 5);
+  }
+}
+
+TEST(KMeans, ValidatesArguments) {
+  KMeansOptions options;
+  options.k = 3;
+  EXPECT_THROW(kmeans({{1.0}, {2.0}}, options), Error);
+  options.k = 0;
+  EXPECT_THROW(kmeans({{1.0}, {2.0}}, options), Error);
+  options.k = 1;
+  EXPECT_THROW(kmeans({{1.0}, {2.0, 3.0}}, options), Error);
+}
+
+}  // namespace
+}  // namespace cellscope

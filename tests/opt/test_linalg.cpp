@@ -1,0 +1,126 @@
+#include "opt/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace cellscope {
+namespace {
+
+TEST(Matrix, StoresAndRetrieves) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.5);
+  m.at(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(Matrix, OutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  int v = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.at(r, c) = v++;
+  const auto y = m.multiply({1.0, 0.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, MultiplyTransposed) {
+  Matrix m(2, 3);
+  int v = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.at(r, c) = v++;
+  const auto x = m.multiply_transposed({1.0, 1.0});
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+  EXPECT_DOUBLE_EQ(x[1], 7.0);
+  EXPECT_DOUBLE_EQ(x[2], 9.0);
+}
+
+TEST(Matrix, GramIsSymmetricPositiveSemidefiniteDiagonal) {
+  Rng rng(1);
+  Matrix m(5, 3);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.at(r, c) = rng.normal();
+  const auto g = m.gram();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(g.at(i, i), 0.0);
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(g.at(i, j), g.at(j, i), 1e-12);
+  }
+}
+
+TEST(SolveLinear, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const auto x = solve_linear(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, RandomSystemsRoundTrip) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.normal();
+      a.at(r, r) += 3.0;  // keep well-conditioned
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.normal();
+    const auto b = a.multiply(x_true);
+    const auto x = solve_linear(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // Zero pivot in the (0, 0) position — fails without partial pivoting.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const auto x = solve_linear(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularSystemThrows) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;  // rank 1
+  EXPECT_THROW(solve_linear(a, {1.0, 2.0}), Error);
+}
+
+TEST(SolveLinear, ValidatesShape) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_linear(a, {1.0, 2.0}), Error);
+  Matrix square(2, 2, 1.0);
+  EXPECT_THROW(solve_linear(square, {1.0}), Error);
+}
+
+TEST(Matrix, MultiplyValidatesDimensions) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.multiply({1.0}), Error);
+  EXPECT_THROW(m.multiply_transposed({1.0, 2.0, 3.0}), Error);
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,81 @@
+#include "traffic/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("cs_trace_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+std::vector<TrafficLog> sample_logs() {
+  return {
+      {1001, 42, 600, 615, 123456, "District-3/Street-7/No-9"},
+      {1002, 43, 601, 700, 999, "District-1/Street-1/No-1"},
+      {1001, 42, 620, 621, 1, ""},
+  };
+}
+
+TEST_F(TraceIoTest, RoundTripsLogs) {
+  write_trace_csv(path(), sample_logs());
+  const auto logs = read_trace_csv(path());
+  ASSERT_EQ(logs.size(), 3u);
+  EXPECT_EQ(logs[0], sample_logs()[0]);
+  EXPECT_EQ(logs[1], sample_logs()[1]);
+  EXPECT_EQ(logs[2], sample_logs()[2]);
+}
+
+TEST_F(TraceIoTest, WritesHeaderRow) {
+  write_trace_csv(path(), {});
+  std::ifstream in(path());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "user_id,tower_id,start_minute,end_minute,bytes,address");
+}
+
+TEST_F(TraceIoTest, SkipsStructurallyBrokenRows) {
+  {
+    std::ofstream out(path());
+    out << "user_id,tower_id,start_minute,end_minute,bytes,address\n";
+    out << "1,2,3,4,5,addr\n";          // good
+    out << "not,enough,columns\n";      // wrong arity
+    out << "x,2,3,4,5,addr\n";          // non-numeric user id
+    out << "9,8,7,6,5,addr2\n";         // good
+  }
+  const auto logs = read_trace_csv(path());
+  ASSERT_EQ(logs.size(), 2u);
+  EXPECT_EQ(logs[0].user_id, 1u);
+  EXPECT_EQ(logs[1].user_id, 9u);
+}
+
+TEST_F(TraceIoTest, EmptyFileYieldsNoLogs) {
+  { std::ofstream out(path()); }
+  EXPECT_TRUE(read_trace_csv(path()).empty());
+}
+
+TEST(TraceIo, TotalBytesSums) {
+  EXPECT_EQ(total_bytes(sample_logs()), 123456u + 999u + 1u);
+  EXPECT_EQ(total_bytes({}), 0u);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_csv("/no/such/file.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace cellscope

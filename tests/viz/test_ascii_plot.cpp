@@ -1,0 +1,116 @@
+#include "viz/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+TEST(LineChart, RendersTitleLegendAndFrame) {
+  LineChartOptions options;
+  options.title = "Traffic over time";
+  options.series_names = {"resident", "office"};
+  options.width = 40;
+  options.height = 8;
+  const std::vector<std::vector<double>> series = {
+      {1, 2, 3, 4, 5}, {5, 4, 3, 2, 1}};
+  const auto chart = line_chart(series, options);
+  EXPECT_NE(chart.find("Traffic over time"), std::string::npos);
+  EXPECT_NE(chart.find("resident"), std::string::npos);
+  EXPECT_NE(chart.find("office"), std::string::npos);
+  EXPECT_NE(chart.find("max"), std::string::npos);
+  EXPECT_NE(chart.find("min"), std::string::npos);
+}
+
+TEST(LineChart, HasRequestedDimensions) {
+  LineChartOptions options;
+  options.width = 30;
+  options.height = 6;
+  const auto chart =
+      line_chart(std::vector<double>{1.0, 2.0, 3.0}, options);
+  // 6 canvas rows, each starting with "  |".
+  int rows = 0;
+  std::size_t pos = 0;
+  while ((pos = chart.find("  |", pos)) != std::string::npos) {
+    ++rows;
+    pos += 3;
+  }
+  EXPECT_EQ(rows, 6);
+}
+
+TEST(LineChart, ConstantSeriesDoesNotDivideByZero) {
+  LineChartOptions options;
+  options.width = 20;
+  options.height = 5;
+  EXPECT_NO_THROW(line_chart(std::vector<double>(50, 3.0), options));
+}
+
+TEST(LineChart, ValidatesInput) {
+  LineChartOptions options;
+  EXPECT_THROW(line_chart(std::vector<std::vector<double>>{}, options),
+               Error);
+  EXPECT_THROW(line_chart(std::vector<std::vector<double>>{{}}, options),
+               Error);
+  options.width = 2;
+  EXPECT_THROW(line_chart(std::vector<double>{1.0}, options), Error);
+}
+
+TEST(Heatmap, UsesDarkerShadesForLargerValues) {
+  const std::vector<double> values = {0.0, 0.5, 1.0, 10.0};
+  const auto map = heatmap(values, 2, 2, "density");
+  EXPECT_NE(map.find("density"), std::string::npos);
+  EXPECT_NE(map.find('@'), std::string::npos);  // the 10.0 cell
+}
+
+TEST(Heatmap, AllZeroRendersBlank) {
+  const std::vector<double> values(9, 0.0);
+  const auto map = heatmap(values, 3, 3, "");
+  EXPECT_EQ(map.find('@'), std::string::npos);
+  EXPECT_EQ(map.find('#'), std::string::npos);
+}
+
+TEST(Heatmap, ShapeMismatchThrows) {
+  EXPECT_THROW(heatmap(std::vector<double>(5), 2, 3, ""), Error);
+}
+
+TEST(BarChart, ScalesBarsToValues) {
+  const auto chart =
+      bar_chart({"a", "b"}, {1.0, 2.0}, "title", 20);
+  // b's bar should be about twice a's.
+  const auto a_pos = chart.find("a ");
+  const auto b_pos = chart.find("b ");
+  ASSERT_NE(a_pos, std::string::npos);
+  ASSERT_NE(b_pos, std::string::npos);
+  const auto count_hashes = [&](std::size_t from) {
+    std::size_t n = 0;
+    for (std::size_t i = from; i < chart.size() && chart[i] != '\n'; ++i)
+      if (chart[i] == '#') ++n;
+    return n;
+  };
+  EXPECT_EQ(count_hashes(b_pos), 20u);
+  EXPECT_EQ(count_hashes(a_pos), 10u);
+}
+
+TEST(BarChart, ValidatesInput) {
+  EXPECT_THROW(bar_chart({"a"}, {1.0, 2.0}, ""), Error);
+  EXPECT_THROW(bar_chart({}, {}, ""), Error);
+}
+
+TEST(Scatter, PlacesClassDigits) {
+  const std::vector<double> x = {0.0, 1.0};
+  const std::vector<double> y = {0.0, 1.0};
+  const std::vector<int> cls = {0, 3};
+  const auto plot = scatter_plot(x, y, cls, "phases", 20, 10);
+  EXPECT_NE(plot.find('0'), std::string::npos);
+  EXPECT_NE(plot.find('3'), std::string::npos);
+  EXPECT_NE(plot.find("phases"), std::string::npos);
+}
+
+TEST(Scatter, ValidatesInput) {
+  EXPECT_THROW(scatter_plot({1.0}, {1.0, 2.0}, {0, 0}, ""), Error);
+  EXPECT_THROW(scatter_plot({}, {}, {}, ""), Error);
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,60 @@
+#include "viz/figure_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+class FigureExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cs_export_test_" + std::to_string(::getpid()));
+    ::setenv("CELLSCOPE_OUT", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("CELLSCOPE_OUT");
+    std::filesystem::remove_all(dir_);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FigureExportTest, CreatesTheOutputDirectory) {
+  const auto dir = figure_output_dir();
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  EXPECT_EQ(dir, dir_.string());
+}
+
+TEST_F(FigureExportTest, ExportColumnsWritesCsv) {
+  export_columns("test_fig", {"x", "y"}, {{1.0, 2.0}, {3.0, 4.0}});
+  const auto rows = CsvReader::read_file(dir_.string() + "/test_fig.csv");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(rows[1][0].substr(0, 3), "1.0");
+  EXPECT_EQ(rows[2][1].substr(0, 3), "4.0");
+}
+
+TEST_F(FigureExportTest, ExportSeriesAddsIndexColumn) {
+  export_series("series_fig", std::vector<double>{5.0, 6.0}, "traffic");
+  const auto rows = CsvReader::read_file(dir_.string() + "/series_fig.csv");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"index", "traffic"}));
+  EXPECT_EQ(rows[1][0].substr(0, 1), "0");
+  EXPECT_EQ(rows[2][0].substr(0, 1), "1");
+}
+
+TEST_F(FigureExportTest, ValidatesColumnShapes) {
+  EXPECT_THROW(export_columns("bad", {"x"}, {{1.0}, {2.0}}), Error);
+  EXPECT_THROW(export_columns("bad", {"x", "y"}, {{1.0}, {2.0, 3.0}}),
+               Error);
+  EXPECT_THROW(export_columns("bad", {}, {}), Error);
+}
+
+}  // namespace
+}  // namespace cellscope
