@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_anomaly_events.dir/ext_anomaly_events.cpp.o"
+  "CMakeFiles/ext_anomaly_events.dir/ext_anomaly_events.cpp.o.d"
+  "ext_anomaly_events"
+  "ext_anomaly_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_anomaly_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_commute_flows.dir/ext_commute_flows.cpp.o"
+  "CMakeFiles/ext_commute_flows.dir/ext_commute_flows.cpp.o.d"
+  "ext_commute_flows"
+  "ext_commute_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_commute_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

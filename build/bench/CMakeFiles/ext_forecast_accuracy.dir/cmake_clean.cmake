@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_forecast_accuracy.dir/ext_forecast_accuracy.cpp.o"
+  "CMakeFiles/ext_forecast_accuracy.dir/ext_forecast_accuracy.cpp.o.d"
+  "ext_forecast_accuracy"
+  "ext_forecast_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_forecast_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_noise_robustness.dir/ext_noise_robustness.cpp.o"
+  "CMakeFiles/ext_noise_robustness.dir/ext_noise_robustness.cpp.o.d"
+  "ext_noise_robustness"
+  "ext_noise_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_noise_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

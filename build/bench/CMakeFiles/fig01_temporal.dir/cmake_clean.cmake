@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_temporal.dir/fig01_temporal.cpp.o"
+  "CMakeFiles/fig01_temporal.dir/fig01_temporal.cpp.o.d"
+  "fig01_temporal"
+  "fig01_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_spatial.dir/fig02_spatial.cpp.o"
+  "CMakeFiles/fig02_spatial.dir/fig02_spatial.cpp.o.d"
+  "fig02_spatial"
+  "fig02_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

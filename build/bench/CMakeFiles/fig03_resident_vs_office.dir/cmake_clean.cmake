@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_resident_vs_office.dir/fig03_resident_vs_office.cpp.o"
+  "CMakeFiles/fig03_resident_vs_office.dir/fig03_resident_vs_office.cpp.o.d"
+  "fig03_resident_vs_office"
+  "fig03_resident_vs_office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_resident_vs_office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

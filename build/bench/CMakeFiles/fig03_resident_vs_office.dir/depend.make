@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_resident_vs_office.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_latlon_disorder.dir/fig04_latlon_disorder.cpp.o"
+  "CMakeFiles/fig04_latlon_disorder.dir/fig04_latlon_disorder.cpp.o.d"
+  "fig04_latlon_disorder"
+  "fig04_latlon_disorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_latlon_disorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

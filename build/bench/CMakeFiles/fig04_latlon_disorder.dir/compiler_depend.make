@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_latlon_disorder.
+# This may be replaced when dependencies are built.

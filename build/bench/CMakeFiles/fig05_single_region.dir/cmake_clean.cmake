@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_single_region.dir/fig05_single_region.cpp.o"
+  "CMakeFiles/fig05_single_region.dir/fig05_single_region.cpp.o.d"
+  "fig05_single_region"
+  "fig05_single_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_single_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_clustering.dir/fig06_clustering.cpp.o"
+  "CMakeFiles/fig06_clustering.dir/fig06_clustering.cpp.o.d"
+  "fig06_clustering"
+  "fig06_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_geo_distribution.dir/fig07_geo_distribution.cpp.o"
+  "CMakeFiles/fig07_geo_distribution.dir/fig07_geo_distribution.cpp.o.d"
+  "fig07_geo_distribution"
+  "fig07_geo_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_geo_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_time_ratios.dir/fig10_time_ratios.cpp.o"
+  "CMakeFiles/fig10_time_ratios.dir/fig10_time_ratios.cpp.o.d"
+  "fig10_time_ratios"
+  "fig10_time_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_time_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

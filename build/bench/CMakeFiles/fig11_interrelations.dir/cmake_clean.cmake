@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_interrelations.dir/fig11_interrelations.cpp.o"
+  "CMakeFiles/fig11_interrelations.dir/fig11_interrelations.cpp.o.d"
+  "fig11_interrelations"
+  "fig11_interrelations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_interrelations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dft_reconstruction.dir/fig12_dft_reconstruction.cpp.o"
+  "CMakeFiles/fig12_dft_reconstruction.dir/fig12_dft_reconstruction.cpp.o.d"
+  "fig12_dft_reconstruction"
+  "fig12_dft_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dft_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_component_variance.dir/fig13_component_variance.cpp.o"
+  "CMakeFiles/fig13_component_variance.dir/fig13_component_variance.cpp.o.d"
+  "fig13_component_variance"
+  "fig13_component_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_component_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

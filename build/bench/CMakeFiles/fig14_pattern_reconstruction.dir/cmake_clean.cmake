@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pattern_reconstruction.dir/fig14_pattern_reconstruction.cpp.o"
+  "CMakeFiles/fig14_pattern_reconstruction.dir/fig14_pattern_reconstruction.cpp.o.d"
+  "fig14_pattern_reconstruction"
+  "fig14_pattern_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pattern_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

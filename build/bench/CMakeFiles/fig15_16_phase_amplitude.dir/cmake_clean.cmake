@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_16_phase_amplitude.dir/fig15_16_phase_amplitude.cpp.o"
+  "CMakeFiles/fig15_16_phase_amplitude.dir/fig15_16_phase_amplitude.cpp.o.d"
+  "fig15_16_phase_amplitude"
+  "fig15_16_phase_amplitude.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_16_phase_amplitude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

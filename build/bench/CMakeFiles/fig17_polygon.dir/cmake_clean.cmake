@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_polygon.dir/fig17_polygon.cpp.o"
+  "CMakeFiles/fig17_polygon.dir/fig17_polygon.cpp.o.d"
+  "fig17_polygon"
+  "fig17_polygon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_polygon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_19_decomposition.dir/fig18_19_decomposition.cpp.o"
+  "CMakeFiles/fig18_19_decomposition.dir/fig18_19_decomposition.cpp.o.d"
+  "fig18_19_decomposition"
+  "fig18_19_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_19_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

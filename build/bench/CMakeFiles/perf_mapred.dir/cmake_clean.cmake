@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_mapred.dir/perf_mapred.cpp.o"
+  "CMakeFiles/perf_mapred.dir/perf_mapred.cpp.o.d"
+  "perf_mapred"
+  "perf_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

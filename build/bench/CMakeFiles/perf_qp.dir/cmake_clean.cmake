@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_qp.dir/perf_qp.cpp.o"
+  "CMakeFiles/perf_qp.dir/perf_qp.cpp.o.d"
+  "perf_qp"
+  "perf_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

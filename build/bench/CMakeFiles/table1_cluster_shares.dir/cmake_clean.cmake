@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cluster_shares.dir/table1_cluster_shares.cpp.o"
+  "CMakeFiles/table1_cluster_shares.dir/table1_cluster_shares.cpp.o.d"
+  "table1_cluster_shares"
+  "table1_cluster_shares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cluster_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_poi_hotspots.dir/table2_poi_hotspots.cpp.o"
+  "CMakeFiles/table2_poi_hotspots.dir/table2_poi_hotspots.cpp.o.d"
+  "table2_poi_hotspots"
+  "table2_poi_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_poi_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

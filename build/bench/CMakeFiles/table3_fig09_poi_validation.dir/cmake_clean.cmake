@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fig09_poi_validation.dir/table3_fig09_poi_validation.cpp.o"
+  "CMakeFiles/table3_fig09_poi_validation.dir/table3_fig09_poi_validation.cpp.o.d"
+  "table3_fig09_poi_validation"
+  "table3_fig09_poi_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fig09_poi_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

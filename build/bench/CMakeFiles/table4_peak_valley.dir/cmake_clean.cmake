@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_peak_valley.dir/table4_peak_valley.cpp.o"
+  "CMakeFiles/table4_peak_valley.dir/table4_peak_valley.cpp.o.d"
+  "table4_peak_valley"
+  "table4_peak_valley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_peak_valley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_peak_times.dir/table5_peak_times.cpp.o"
+  "CMakeFiles/table5_peak_times.dir/table5_peak_times.cpp.o.d"
+  "table5_peak_times"
+  "table5_peak_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_peak_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

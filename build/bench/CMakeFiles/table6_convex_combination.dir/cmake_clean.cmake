@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_convex_combination.dir/table6_convex_combination.cpp.o"
+  "CMakeFiles/table6_convex_combination.dir/table6_convex_combination.cpp.o.d"
+  "table6_convex_combination"
+  "table6_convex_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_convex_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

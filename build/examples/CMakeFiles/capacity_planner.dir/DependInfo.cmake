@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/capacity_planner.cpp" "examples/CMakeFiles/capacity_planner.dir/capacity_planner.cpp.o" "gcc" "examples/CMakeFiles/capacity_planner.dir/capacity_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/cs_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/cs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/cs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cs_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/city/CMakeFiles/cs_city.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/cs_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/land_use_inference.dir/land_use_inference.cpp.o"
+  "CMakeFiles/land_use_inference.dir/land_use_inference.cpp.o.d"
+  "land_use_inference"
+  "land_use_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/land_use_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for land_use_inference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tower_decomposition.dir/tower_decomposition.cpp.o"
+  "CMakeFiles/tower_decomposition.dir/tower_decomposition.cpp.o.d"
+  "tower_decomposition"
+  "tower_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tower_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

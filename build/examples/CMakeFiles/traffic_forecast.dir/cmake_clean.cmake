@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_forecast.dir/traffic_forecast.cpp.o"
+  "CMakeFiles/traffic_forecast.dir/traffic_forecast.cpp.o.d"
+  "traffic_forecast"
+  "traffic_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

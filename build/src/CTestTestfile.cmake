@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geo")
+subdirs("city")
+subdirs("traffic")
+subdirs("mapred")
+subdirs("pipeline")
+subdirs("dsp")
+subdirs("forecast")
+subdirs("ml")
+subdirs("opt")
+subdirs("analysis")
+subdirs("core")
+subdirs("viz")

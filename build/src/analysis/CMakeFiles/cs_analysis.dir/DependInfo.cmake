@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/commute_flows.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/commute_flows.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/commute_flows.cpp.o.d"
+  "/root/repo/src/analysis/component_analysis.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/component_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/component_analysis.cpp.o.d"
+  "/root/repo/src/analysis/freq_features.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/freq_features.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/freq_features.cpp.o.d"
+  "/root/repo/src/analysis/labeling.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/labeling.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/labeling.cpp.o.d"
+  "/root/repo/src/analysis/poi_features.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/poi_features.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/poi_features.cpp.o.d"
+  "/root/repo/src/analysis/time_features.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/time_features.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/time_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/cs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/city/CMakeFiles/cs_city.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cs_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/cs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cs_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

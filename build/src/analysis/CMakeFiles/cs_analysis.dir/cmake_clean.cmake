@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_analysis.dir/commute_flows.cpp.o"
+  "CMakeFiles/cs_analysis.dir/commute_flows.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/component_analysis.cpp.o"
+  "CMakeFiles/cs_analysis.dir/component_analysis.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/freq_features.cpp.o"
+  "CMakeFiles/cs_analysis.dir/freq_features.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/labeling.cpp.o"
+  "CMakeFiles/cs_analysis.dir/labeling.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/poi_features.cpp.o"
+  "CMakeFiles/cs_analysis.dir/poi_features.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/time_features.cpp.o"
+  "CMakeFiles/cs_analysis.dir/time_features.cpp.o.d"
+  "libcs_analysis.a"
+  "libcs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/city/city_model.cpp" "src/city/CMakeFiles/cs_city.dir/city_model.cpp.o" "gcc" "src/city/CMakeFiles/cs_city.dir/city_model.cpp.o.d"
+  "/root/repo/src/city/deployment.cpp" "src/city/CMakeFiles/cs_city.dir/deployment.cpp.o" "gcc" "src/city/CMakeFiles/cs_city.dir/deployment.cpp.o.d"
+  "/root/repo/src/city/functional_region.cpp" "src/city/CMakeFiles/cs_city.dir/functional_region.cpp.o" "gcc" "src/city/CMakeFiles/cs_city.dir/functional_region.cpp.o.d"
+  "/root/repo/src/city/poi.cpp" "src/city/CMakeFiles/cs_city.dir/poi.cpp.o" "gcc" "src/city/CMakeFiles/cs_city.dir/poi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/cs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_city.dir/city_model.cpp.o"
+  "CMakeFiles/cs_city.dir/city_model.cpp.o.d"
+  "CMakeFiles/cs_city.dir/deployment.cpp.o"
+  "CMakeFiles/cs_city.dir/deployment.cpp.o.d"
+  "CMakeFiles/cs_city.dir/functional_region.cpp.o"
+  "CMakeFiles/cs_city.dir/functional_region.cpp.o.d"
+  "CMakeFiles/cs_city.dir/poi.cpp.o"
+  "CMakeFiles/cs_city.dir/poi.cpp.o.d"
+  "libcs_city.a"
+  "libcs_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_common.dir/csv.cpp.o"
+  "CMakeFiles/cs_common.dir/csv.cpp.o.d"
+  "CMakeFiles/cs_common.dir/rng.cpp.o"
+  "CMakeFiles/cs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cs_common.dir/stats.cpp.o"
+  "CMakeFiles/cs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cs_common.dir/string_util.cpp.o"
+  "CMakeFiles/cs_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/cs_common.dir/table.cpp.o"
+  "CMakeFiles/cs_common.dir/table.cpp.o.d"
+  "CMakeFiles/cs_common.dir/time_grid.cpp.o"
+  "CMakeFiles/cs_common.dir/time_grid.cpp.o.d"
+  "libcs_common.a"
+  "libcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_dsp.dir/fft.cpp.o"
+  "CMakeFiles/cs_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/cs_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/cs_dsp.dir/spectrum.cpp.o.d"
+  "libcs_dsp.a"
+  "libcs_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

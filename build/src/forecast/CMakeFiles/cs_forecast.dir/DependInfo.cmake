@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/anomaly.cpp" "src/forecast/CMakeFiles/cs_forecast.dir/anomaly.cpp.o" "gcc" "src/forecast/CMakeFiles/cs_forecast.dir/anomaly.cpp.o.d"
+  "/root/repo/src/forecast/metrics.cpp" "src/forecast/CMakeFiles/cs_forecast.dir/metrics.cpp.o" "gcc" "src/forecast/CMakeFiles/cs_forecast.dir/metrics.cpp.o.d"
+  "/root/repo/src/forecast/pattern_forecaster.cpp" "src/forecast/CMakeFiles/cs_forecast.dir/pattern_forecaster.cpp.o" "gcc" "src/forecast/CMakeFiles/cs_forecast.dir/pattern_forecaster.cpp.o.d"
+  "/root/repo/src/forecast/seasonal_naive.cpp" "src/forecast/CMakeFiles/cs_forecast.dir/seasonal_naive.cpp.o" "gcc" "src/forecast/CMakeFiles/cs_forecast.dir/seasonal_naive.cpp.o.d"
+  "/root/repo/src/forecast/spectral_forecaster.cpp" "src/forecast/CMakeFiles/cs_forecast.dir/spectral_forecaster.cpp.o" "gcc" "src/forecast/CMakeFiles/cs_forecast.dir/spectral_forecaster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/cs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/cs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cs_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/city/CMakeFiles/cs_city.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/cs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cs_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

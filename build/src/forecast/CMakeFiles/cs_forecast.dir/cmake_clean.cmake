@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_forecast.dir/anomaly.cpp.o"
+  "CMakeFiles/cs_forecast.dir/anomaly.cpp.o.d"
+  "CMakeFiles/cs_forecast.dir/metrics.cpp.o"
+  "CMakeFiles/cs_forecast.dir/metrics.cpp.o.d"
+  "CMakeFiles/cs_forecast.dir/pattern_forecaster.cpp.o"
+  "CMakeFiles/cs_forecast.dir/pattern_forecaster.cpp.o.d"
+  "CMakeFiles/cs_forecast.dir/seasonal_naive.cpp.o"
+  "CMakeFiles/cs_forecast.dir/seasonal_naive.cpp.o.d"
+  "CMakeFiles/cs_forecast.dir/spectral_forecaster.cpp.o"
+  "CMakeFiles/cs_forecast.dir/spectral_forecaster.cpp.o.d"
+  "libcs_forecast.a"
+  "libcs_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

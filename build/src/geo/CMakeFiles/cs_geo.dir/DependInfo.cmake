@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/density_grid.cpp" "src/geo/CMakeFiles/cs_geo.dir/density_grid.cpp.o" "gcc" "src/geo/CMakeFiles/cs_geo.dir/density_grid.cpp.o.d"
+  "/root/repo/src/geo/geocoder.cpp" "src/geo/CMakeFiles/cs_geo.dir/geocoder.cpp.o" "gcc" "src/geo/CMakeFiles/cs_geo.dir/geocoder.cpp.o.d"
+  "/root/repo/src/geo/latlon.cpp" "src/geo/CMakeFiles/cs_geo.dir/latlon.cpp.o" "gcc" "src/geo/CMakeFiles/cs_geo.dir/latlon.cpp.o.d"
+  "/root/repo/src/geo/spatial_index.cpp" "src/geo/CMakeFiles/cs_geo.dir/spatial_index.cpp.o" "gcc" "src/geo/CMakeFiles/cs_geo.dir/spatial_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_geo.dir/density_grid.cpp.o"
+  "CMakeFiles/cs_geo.dir/density_grid.cpp.o.d"
+  "CMakeFiles/cs_geo.dir/geocoder.cpp.o"
+  "CMakeFiles/cs_geo.dir/geocoder.cpp.o.d"
+  "CMakeFiles/cs_geo.dir/latlon.cpp.o"
+  "CMakeFiles/cs_geo.dir/latlon.cpp.o.d"
+  "CMakeFiles/cs_geo.dir/spatial_index.cpp.o"
+  "CMakeFiles/cs_geo.dir/spatial_index.cpp.o.d"
+  "libcs_geo.a"
+  "libcs_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_mapred.dir/thread_pool.cpp.o"
+  "CMakeFiles/cs_mapred.dir/thread_pool.cpp.o.d"
+  "libcs_mapred.a"
+  "libcs_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_ml.dir/distance.cpp.o"
+  "CMakeFiles/cs_ml.dir/distance.cpp.o.d"
+  "CMakeFiles/cs_ml.dir/hierarchical.cpp.o"
+  "CMakeFiles/cs_ml.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/cs_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/cs_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/cs_ml.dir/validity.cpp.o"
+  "CMakeFiles/cs_ml.dir/validity.cpp.o.d"
+  "libcs_ml.a"
+  "libcs_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/linalg.cpp" "src/opt/CMakeFiles/cs_opt.dir/linalg.cpp.o" "gcc" "src/opt/CMakeFiles/cs_opt.dir/linalg.cpp.o.d"
+  "/root/repo/src/opt/simplex_ls.cpp" "src/opt/CMakeFiles/cs_opt.dir/simplex_ls.cpp.o" "gcc" "src/opt/CMakeFiles/cs_opt.dir/simplex_ls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

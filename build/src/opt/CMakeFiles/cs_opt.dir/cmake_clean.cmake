@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_opt.dir/linalg.cpp.o"
+  "CMakeFiles/cs_opt.dir/linalg.cpp.o.d"
+  "CMakeFiles/cs_opt.dir/simplex_ls.cpp.o"
+  "CMakeFiles/cs_opt.dir/simplex_ls.cpp.o.d"
+  "libcs_opt.a"
+  "libcs_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

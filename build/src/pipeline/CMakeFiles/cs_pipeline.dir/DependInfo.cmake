@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/cleaner.cpp" "src/pipeline/CMakeFiles/cs_pipeline.dir/cleaner.cpp.o" "gcc" "src/pipeline/CMakeFiles/cs_pipeline.dir/cleaner.cpp.o.d"
+  "/root/repo/src/pipeline/density.cpp" "src/pipeline/CMakeFiles/cs_pipeline.dir/density.cpp.o" "gcc" "src/pipeline/CMakeFiles/cs_pipeline.dir/density.cpp.o.d"
+  "/root/repo/src/pipeline/traffic_matrix.cpp" "src/pipeline/CMakeFiles/cs_pipeline.dir/traffic_matrix.cpp.o" "gcc" "src/pipeline/CMakeFiles/cs_pipeline.dir/traffic_matrix.cpp.o.d"
+  "/root/repo/src/pipeline/vectorizer.cpp" "src/pipeline/CMakeFiles/cs_pipeline.dir/vectorizer.cpp.o" "gcc" "src/pipeline/CMakeFiles/cs_pipeline.dir/vectorizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traffic/CMakeFiles/cs_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/cs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/city/CMakeFiles/cs_city.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

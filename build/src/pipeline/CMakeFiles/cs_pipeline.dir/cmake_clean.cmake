@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_pipeline.dir/cleaner.cpp.o"
+  "CMakeFiles/cs_pipeline.dir/cleaner.cpp.o.d"
+  "CMakeFiles/cs_pipeline.dir/density.cpp.o"
+  "CMakeFiles/cs_pipeline.dir/density.cpp.o.d"
+  "CMakeFiles/cs_pipeline.dir/traffic_matrix.cpp.o"
+  "CMakeFiles/cs_pipeline.dir/traffic_matrix.cpp.o.d"
+  "CMakeFiles/cs_pipeline.dir/vectorizer.cpp.o"
+  "CMakeFiles/cs_pipeline.dir/vectorizer.cpp.o.d"
+  "libcs_pipeline.a"
+  "libcs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/intensity_model.cpp" "src/traffic/CMakeFiles/cs_traffic.dir/intensity_model.cpp.o" "gcc" "src/traffic/CMakeFiles/cs_traffic.dir/intensity_model.cpp.o.d"
+  "/root/repo/src/traffic/mobility.cpp" "src/traffic/CMakeFiles/cs_traffic.dir/mobility.cpp.o" "gcc" "src/traffic/CMakeFiles/cs_traffic.dir/mobility.cpp.o.d"
+  "/root/repo/src/traffic/mobility_trace.cpp" "src/traffic/CMakeFiles/cs_traffic.dir/mobility_trace.cpp.o" "gcc" "src/traffic/CMakeFiles/cs_traffic.dir/mobility_trace.cpp.o.d"
+  "/root/repo/src/traffic/profiles.cpp" "src/traffic/CMakeFiles/cs_traffic.dir/profiles.cpp.o" "gcc" "src/traffic/CMakeFiles/cs_traffic.dir/profiles.cpp.o.d"
+  "/root/repo/src/traffic/trace_generator.cpp" "src/traffic/CMakeFiles/cs_traffic.dir/trace_generator.cpp.o" "gcc" "src/traffic/CMakeFiles/cs_traffic.dir/trace_generator.cpp.o.d"
+  "/root/repo/src/traffic/trace_io.cpp" "src/traffic/CMakeFiles/cs_traffic.dir/trace_io.cpp.o" "gcc" "src/traffic/CMakeFiles/cs_traffic.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/city/CMakeFiles/cs_city.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

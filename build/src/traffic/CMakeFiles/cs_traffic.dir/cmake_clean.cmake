@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_traffic.dir/intensity_model.cpp.o"
+  "CMakeFiles/cs_traffic.dir/intensity_model.cpp.o.d"
+  "CMakeFiles/cs_traffic.dir/mobility.cpp.o"
+  "CMakeFiles/cs_traffic.dir/mobility.cpp.o.d"
+  "CMakeFiles/cs_traffic.dir/mobility_trace.cpp.o"
+  "CMakeFiles/cs_traffic.dir/mobility_trace.cpp.o.d"
+  "CMakeFiles/cs_traffic.dir/profiles.cpp.o"
+  "CMakeFiles/cs_traffic.dir/profiles.cpp.o.d"
+  "CMakeFiles/cs_traffic.dir/trace_generator.cpp.o"
+  "CMakeFiles/cs_traffic.dir/trace_generator.cpp.o.d"
+  "CMakeFiles/cs_traffic.dir/trace_io.cpp.o"
+  "CMakeFiles/cs_traffic.dir/trace_io.cpp.o.d"
+  "libcs_traffic.a"
+  "libcs_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_viz.dir/ascii_plot.cpp.o"
+  "CMakeFiles/cs_viz.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/cs_viz.dir/figure_export.cpp.o"
+  "CMakeFiles/cs_viz.dir/figure_export.cpp.o.d"
+  "libcs_viz.a"
+  "libcs_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

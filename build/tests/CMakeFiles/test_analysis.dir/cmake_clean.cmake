@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_commute_flows.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_commute_flows.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_component_analysis.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_component_analysis.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_freq_features.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_freq_features.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_labeling.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_labeling.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_poi_features.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_poi_features.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_time_features.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_time_features.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

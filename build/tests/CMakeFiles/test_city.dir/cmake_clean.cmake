@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_city.dir/city/test_city_model.cpp.o"
+  "CMakeFiles/test_city.dir/city/test_city_model.cpp.o.d"
+  "CMakeFiles/test_city.dir/city/test_deployment.cpp.o"
+  "CMakeFiles/test_city.dir/city/test_deployment.cpp.o.d"
+  "CMakeFiles/test_city.dir/city/test_functional_region.cpp.o"
+  "CMakeFiles/test_city.dir/city/test_functional_region.cpp.o.d"
+  "CMakeFiles/test_city.dir/city/test_poi.cpp.o"
+  "CMakeFiles/test_city.dir/city/test_poi.cpp.o.d"
+  "test_city"
+  "test_city.pdb"
+  "test_city[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo.dir/geo/test_density_grid.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_density_grid.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/test_geocoder.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_geocoder.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/test_latlon.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_latlon.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/test_spatial_index.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_spatial_index.cpp.o.d"
+  "test_geo"
+  "test_geo.pdb"
+  "test_geo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

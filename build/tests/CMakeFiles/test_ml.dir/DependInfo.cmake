@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_distance.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_distance.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_distance.cpp.o.d"
+  "/root/repo/tests/ml/test_hierarchical.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_hierarchical.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_hierarchical.cpp.o.d"
+  "/root/repo/tests/ml/test_kmeans.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_kmeans.cpp.o.d"
+  "/root/repo/tests/ml/test_validity.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_validity.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_validity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/cs_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/cs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/cs_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cs_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/city/CMakeFiles/cs_city.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/cs_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

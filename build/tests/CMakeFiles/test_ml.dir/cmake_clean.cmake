@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_distance.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_distance.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_hierarchical.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_hierarchical.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_kmeans.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_validity.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_validity.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/opt/test_linalg.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_linalg.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_simplex_ls.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_simplex_ls.cpp.o.d"
+  "test_opt"
+  "test_opt.pdb"
+  "test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

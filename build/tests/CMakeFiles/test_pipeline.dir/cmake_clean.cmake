@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/pipeline/test_cleaner.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_cleaner.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_density.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_density.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_traffic_matrix.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_traffic_matrix.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_vectorizer.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_vectorizer.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+  "test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

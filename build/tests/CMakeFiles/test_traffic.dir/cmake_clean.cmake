@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic.dir/traffic/test_intensity_model.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_intensity_model.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_mobility.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_mobility.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_profiles.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_profiles.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_trace_generator.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_trace_generator.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_trace_io.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_trace_io.cpp.o.d"
+  "test_traffic"
+  "test_traffic.pdb"
+  "test_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
