@@ -4,6 +4,10 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace cellscope::bench {
 
 std::size_t bench_towers() {
@@ -44,6 +48,75 @@ std::string sci(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2e", v);
   return buf;
+}
+
+namespace {
+
+std::string format_json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string bench_report_path(const std::string& name) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("CELLSCOPE_BENCH_DIR"); env && *env)
+    dir = env;
+  return dir + "/BENCH_" + name + ".json";
+}
+
+/// The bench whose report is written at exit (empty = none registered).
+std::string& registered_report_name() {
+  static std::string name;
+  return name;
+}
+
+void write_report_at_exit() {
+  const std::string& name = registered_report_name();
+  if (name.empty()) return;
+  try {
+    report_json(name);
+  } catch (const Error&) {
+    // A failed report write must not turn a green bench red.
+  }
+}
+
+}  // namespace
+
+std::string report_json(const std::string& name) {
+  const std::string path = bench_report_path(name);
+  std::string json = "{\"bench\":\"" + obs::json_escape(name) + "\"";
+  json += ",\"towers\":" + std::to_string(bench_towers());
+  json += ",\"seed\":" + std::to_string(bench_seed());
+  json += ",\"wall_s\":" + format_json_double(obs::now_us() / 1e6);
+  json += ",\"stages\":[";
+  bool first = true;
+  for (const auto& e : obs::StageTrace::instance().events()) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"name\":\"" + obs::json_escape(e.name) + "\",\"cat\":\"" +
+            obs::json_escape(e.category) +
+            "\",\"ts_us\":" + format_json_double(e.ts_us) +
+            ",\"dur_us\":" + format_json_double(e.dur_us) + '}';
+  }
+  json += "],\"metrics\":" + obs::MetricsRegistry::instance().snapshot_json();
+  json += "}";
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) throw IoError("cannot write bench report: " + path);
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return path;
+}
+
+void enable_json_report(const std::string& name) {
+  // Record pipeline spans even without CELLSCOPE_TRACE so the report can
+  // break the run down per stage.
+  obs::StageTrace::instance().set_enabled(true);
+  const bool already_registered = !registered_report_name().empty();
+  registered_report_name() = name;
+  if (!already_registered) std::atexit(write_report_at_exit);
 }
 
 }  // namespace cellscope::bench

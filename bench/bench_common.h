@@ -3,7 +3,10 @@
 // Every bench works from the same deterministic Experiment so numbers are
 // comparable across binaries. Scale and seed can be overridden with the
 // CELLSCOPE_TOWERS / CELLSCOPE_SEED environment variables; figure CSVs
-// land in the directory reported by figure_output_dir().
+// land in the directory reported by figure_output_dir(). Perf benches
+// additionally write a machine-readable BENCH_<name>.json (wall time,
+// pipeline stage spans, metrics snapshot) via CELLSCOPE_BENCH_JSON so the
+// perf trajectory is trackable across commits.
 #pragma once
 
 #include <string>
@@ -26,5 +29,20 @@ void banner(const std::string& artifact, const std::string& description);
 
 /// "X.XXe+08"-style compact scientific formatting for byte counts.
 std::string sci(double v);
+
+/// Writes BENCH_<name>.json — process wall time, every recorded pipeline
+/// stage span, and the full metrics snapshot — into the current directory
+/// (or $CELLSCOPE_BENCH_DIR). Returns the path written.
+std::string report_json(const std::string& name);
+
+/// Enables stage-span recording and registers an atexit hook that calls
+/// report_json(name) when the process exits. This is how google-benchmark
+/// binaries (whose main() we don't own) emit their report.
+void enable_json_report(const std::string& name);
+
+/// Put one of these at namespace scope in a perf_* bench.
+#define CELLSCOPE_BENCH_JSON(name)                                  \
+  [[maybe_unused]] static const bool cellscope_bench_json_enabled = \
+      (::cellscope::bench::enable_json_report(name), true)
 
 }  // namespace cellscope::bench

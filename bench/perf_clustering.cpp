@@ -6,6 +6,8 @@
 //     the synthetic city, via counters.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <map>
 
 #include "city/deployment.h"
@@ -103,3 +105,5 @@ void BM_DbiSweep(benchmark::State& state) {
 BENCHMARK(BM_DbiSweep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+CELLSCOPE_BENCH_JSON("perf_clustering");

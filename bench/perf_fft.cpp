@@ -4,6 +4,8 @@
 // the fast paths' asymptotic win visible.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "common/rng.h"
 #include "dsp/fft.h"
 #include "dsp/spectrum.h"
@@ -64,3 +66,5 @@ void BM_SpectrumFeatureExtraction(benchmark::State& state) {
 BENCHMARK(BM_SpectrumFeatureExtraction);
 
 }  // namespace
+
+CELLSCOPE_BENCH_JSON("perf_fft");

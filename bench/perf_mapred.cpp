@@ -2,6 +2,8 @@
 // worker count and chunk size, plus the cleaner stage.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "city/deployment.h"
 #include "pipeline/cleaner.h"
 #include "pipeline/vectorizer.h"
@@ -91,3 +93,5 @@ void BM_TraceGeneration(benchmark::State& state) {
 BENCHMARK(BM_TraceGeneration)->Arg(1)->Arg(7)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+CELLSCOPE_BENCH_JSON("perf_mapred");

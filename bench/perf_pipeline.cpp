@@ -3,6 +3,8 @@
 // clustering).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <map>
 
 #include "city/deployment.h"
@@ -108,3 +110,5 @@ void BM_StagePoiGeneration(benchmark::State& state) {
 BENCHMARK(BM_StagePoiGeneration)->Arg(200)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+CELLSCOPE_BENCH_JSON("perf_pipeline");

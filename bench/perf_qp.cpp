@@ -2,6 +2,8 @@
 // projected-gradient baseline, across component counts.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "common/rng.h"
 #include "opt/simplex_ls.h"
 
@@ -72,3 +74,5 @@ void BM_DecomposeAllComprehensiveTowers(benchmark::State& state) {
 BENCHMARK(BM_DecomposeAllComprehensiveTowers)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+CELLSCOPE_BENCH_JSON("perf_qp");

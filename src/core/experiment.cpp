@@ -3,6 +3,8 @@
 #include "analysis/poi_features.h"
 #include "common/error.h"
 #include "ml/distance.h"
+#include "obs/log.h"
+#include "obs/timer.h"
 #include "pipeline/vectorizer.h"
 
 namespace cellscope {
@@ -13,60 +15,115 @@ Experiment Experiment::run(const ExperimentConfig& config) {
   CS_CHECK_MSG(config.k_min >= 2 && config.k_min <= config.k_max,
                "invalid DBI sweep bounds");
 
+  obs::log_info("experiment.start",
+                {{"towers", config.n_towers},
+                 {"seed", config.seed},
+                 {"fold_weekly", config.fold_weekly}});
+  obs::ScopedTimer total_timer;
+
   Experiment e;
   e.config_ = config;
 
   // 1. City and towers.
-  e.city_ = std::make_unique<CityModel>(CityModel::create_default(config.seed));
-  DeploymentOptions deployment;
-  deployment.n_towers = config.n_towers;
-  deployment.seed = config.seed ^ 0xD1B54A32D192ED03ULL;
-  e.towers_ = deploy_towers(*e.city_, deployment);
+  {
+    obs::StageSpan span("pipeline.city_deploy");
+    e.city_ = std::make_unique<CityModel>(
+        CityModel::create_default(config.seed));
+    DeploymentOptions deployment;
+    deployment.n_towers = config.n_towers;
+    deployment.seed = config.seed ^ 0xD1B54A32D192ED03ULL;
+    e.towers_ = deploy_towers(*e.city_, deployment);
+    span.annotate({"towers", e.towers_.size()});
+  }
 
   // 2. Latent intensity models, then POIs conditioned on traffic mixtures.
-  IntensityOptions intensity = config.intensity;
-  intensity.seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
-  e.intensity_ = std::make_unique<IntensityModel>(
-      IntensityModel::create(e.towers_, intensity));
-  PoiGenerationOptions poi_options;
-  poi_options.scale = config.poi_scale;
-  poi_options.seed = config.seed ^ 0xBF58476D1CE4E5B9ULL;
-  e.pois_ = std::make_unique<PoiDatabase>(PoiDatabase::generate(
-      *e.city_, e.towers_, e.intensity_->mixtures(), poi_options));
+  {
+    obs::StageSpan span("pipeline.intensity_poi");
+    IntensityOptions intensity = config.intensity;
+    intensity.seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
+    e.intensity_ = std::make_unique<IntensityModel>(
+        IntensityModel::create(e.towers_, intensity));
+    PoiGenerationOptions poi_options;
+    poi_options.scale = config.poi_scale;
+    poi_options.seed = config.seed ^ 0xBF58476D1CE4E5B9ULL;
+    e.pois_ = std::make_unique<PoiDatabase>(PoiDatabase::generate(
+        *e.city_, e.towers_, e.intensity_->mixtures(), poi_options));
+    span.annotate({"towers", e.towers_.size()});
+    span.annotate({"pois", e.pois_->pois().size()});
+  }
 
-  // 3-4. Traffic matrix and normalization.
-  e.matrix_ = vectorize_intensity(e.towers_, *e.intensity_,
-                                  config.seed ^ 0x94D049BB133111EBULL);
-  e.zscored_ = zscore_rows(e.matrix_);
+  // 3. Traffic matrix (the §3.2 vectorizer).
+  {
+    obs::StageSpan span("pipeline.vectorize");
+    e.matrix_ = vectorize_intensity(e.towers_, *e.intensity_,
+                                    config.seed ^ 0x94D049BB133111EBULL);
+    span.annotate({"towers", e.towers_.size()});
+    span.annotate({"rows", e.matrix_.n()});
+  }
+
+  // 4. Normalization.
+  {
+    obs::StageSpan span("pipeline.zscore");
+    e.zscored_ = zscore_rows(e.matrix_);
+    span.annotate({"rows", e.zscored_.size()});
+  }
 
   // 5. Clustering + metric tuner. Distances are computed on the mean-week
   // fold when configured (DESIGN.md §5.2); the DBI sweep uses the same
   // representation the dendrogram was built on.
-  std::vector<std::vector<double>> folded_storage;
-  const std::vector<std::vector<double>>* cluster_input = &e.zscored_;
-  if (config.fold_weekly) {
-    folded_storage = fold_to_week(e.zscored_);
-    cluster_input = &folded_storage;
+  {
+    obs::StageSpan span("pipeline.cluster_tune");
+    std::vector<std::vector<double>> folded_storage;
+    const std::vector<std::vector<double>>* cluster_input = &e.zscored_;
+    if (config.fold_weekly) {
+      folded_storage = fold_to_week(e.zscored_);
+      cluster_input = &folded_storage;
+    }
+    e.dendrogram_ = std::make_unique<Dendrogram>(Dendrogram::run(
+        DistanceMatrix::compute(*cluster_input), Linkage::kAverage));
+    const auto min_cluster_size = static_cast<std::size_t>(
+        std::max(2.0, config.min_cluster_fraction *
+                          static_cast<double>(config.n_towers)));
+    e.sweep_ = dbi_sweep(*e.dendrogram_, *cluster_input, config.k_min,
+                         std::min(config.k_max, config.n_towers - 1),
+                         min_cluster_size);
+    e.chosen_ = best_cut(e.sweep_);
+    e.labels_ = e.dendrogram_->cut_k(e.chosen_.k);
+    span.annotate({"towers", e.towers_.size()});
+    span.annotate({"k", e.chosen_.k});
   }
-  e.dendrogram_ = std::make_unique<Dendrogram>(Dendrogram::run(
-      DistanceMatrix::compute(*cluster_input), Linkage::kAverage));
-  const auto min_cluster_size = static_cast<std::size_t>(
-      std::max(2.0, config.min_cluster_fraction *
-                        static_cast<double>(config.n_towers)));
-  e.sweep_ = dbi_sweep(*e.dendrogram_, *cluster_input, config.k_min,
-                       std::min(config.k_max, config.n_towers - 1),
-                       min_cluster_size);
-  e.chosen_ = best_cut(e.sweep_);
-  e.labels_ = e.dendrogram_->cut_k(e.chosen_.k);
+
+  // The metric tuner's choice, explainable from the run log alone: one
+  // line per candidate cut plus the chosen minimum.
+  for (const auto& point : e.sweep_) {
+    obs::log_info("dbi_sweep.point", {{"k", point.k},
+                                      {"dbi", point.dbi},
+                                      {"threshold", point.threshold},
+                                      {"valid", point.valid},
+                                      {"chosen", point.k == e.chosen_.k}});
+  }
+  obs::log_info("dbi_sweep.chosen", {{"k", e.chosen_.k},
+                                     {"dbi", e.chosen_.dbi},
+                                     {"threshold", e.chosen_.threshold}});
 
   // 6. POI labeling + validation.
-  e.poi_counts_ = poi_counts_for_towers(*e.pois_, e.towers_);
-  const auto normalized = normalized_poi_by_cluster(e.poi_counts_, e.labels_);
-  e.labeling_ = label_clusters_by_poi(normalized);
-  std::vector<std::size_t> row_tower(e.matrix_.n());
-  for (std::size_t i = 0; i < row_tower.size(); ++i) row_tower[i] = i;
-  e.validation_ = validate_labels(e.labels_, e.labeling_, row_tower,
-                                  e.towers_);
+  {
+    obs::StageSpan span("pipeline.label_validate");
+    e.poi_counts_ = poi_counts_for_towers(*e.pois_, e.towers_);
+    const auto normalized =
+        normalized_poi_by_cluster(e.poi_counts_, e.labels_);
+    e.labeling_ = label_clusters_by_poi(normalized);
+    std::vector<std::size_t> row_tower(e.matrix_.n());
+    for (std::size_t i = 0; i < row_tower.size(); ++i) row_tower[i] = i;
+    e.validation_ = validate_labels(e.labels_, e.labeling_, row_tower,
+                                    e.towers_);
+    span.annotate({"towers", e.towers_.size()});
+    span.annotate({"clusters", e.n_clusters()});
+  }
+
+  obs::log_info("experiment.done", {{"towers", config.n_towers},
+                                    {"k", e.chosen_.k},
+                                    {"wall_ms", total_timer.elapsed_ms()}});
   return e;
 }
 

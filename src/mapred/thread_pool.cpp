@@ -3,14 +3,34 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace cellscope {
 
+namespace {
+
+constexpr double kNsPerMs = 1e6;
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since,
+                         std::chrono::steady_clock::time_point until) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(until - since)
+          .count());
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t n_threads) {
   CS_CHECK_MSG(n_threads >= 1, "thread pool needs at least one worker");
+  auto& registry = obs::MetricsRegistry::instance();
+  metric_submitted_ = &registry.counter("cellscope.mapred.tasks_submitted");
+  metric_completed_ = &registry.counter("cellscope.mapred.tasks_completed");
+  metric_queue_depth_ = &registry.gauge("cellscope.mapred.queue_depth");
+  busy_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) busy_ns_[i].store(0);
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -23,13 +43,17 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  auto future = packaged.get_future();
+  QueuedTask queued{std::packaged_task<void()>(std::move(task)),
+                    std::chrono::steady_clock::now()};
+  auto future = queued.task.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CS_CHECK_MSG(!stopping_, "submit on a stopping pool");
-    tasks_.push(std::move(packaged));
+    tasks_.push(std::move(queued));
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  metric_submitted_->add(1);
+  metric_queue_depth_->add(1);
   cv_.notify_one();
   return future;
 }
@@ -52,18 +76,45 @@ void ThreadPool::parallel_for(std::size_t n,
   for (auto& f : futures) f.get();  // rethrows the first failure
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask queued;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping and drained
-      task = std::move(tasks_.front());
+      queued = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    const auto started = std::chrono::steady_clock::now();
+    queue_wait_ns_.fetch_add(elapsed_ns(queued.enqueued, started),
+                             std::memory_order_relaxed);
+    metric_queue_depth_->add(-1);
+    queued.task();
+    busy_ns_[worker_index].fetch_add(
+        elapsed_ns(started, std::chrono::steady_clock::now()),
+        std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    metric_completed_->add(1);
   }
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.tasks_submitted = submitted_.load(std::memory_order_relaxed);
+  s.tasks_completed = completed_.load(std::memory_order_relaxed);
+  s.total_queue_wait_ms =
+      static_cast<double>(queue_wait_ns_.load(std::memory_order_relaxed)) /
+      kNsPerMs;
+  s.per_worker_busy_ms.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const double busy =
+        static_cast<double>(busy_ns_[i].load(std::memory_order_relaxed)) /
+        kNsPerMs;
+    s.per_worker_busy_ms.push_back(busy);
+    s.total_busy_ms += busy;
+  }
+  return s;
 }
 
 std::size_t default_thread_count() {

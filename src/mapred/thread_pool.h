@@ -2,13 +2,19 @@
 //
 // Backbone of the in-process MapReduce engine that substitutes for the
 // paper's Hadoop platform (DESIGN.md §2). Tasks are arbitrary callables;
-// parallel_for partitions an index range over the workers.
+// parallel_for partitions an index range over the workers. The pool keeps
+// utilization stats (tasks run, queue wait, per-worker busy time) and
+// feeds the global cellscope.mapred.* metrics.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -16,10 +22,28 @@
 
 namespace cellscope {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
+/// Utilization snapshot of one ThreadPool.
+struct ThreadPoolStats {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_completed = 0;
+  /// Total time tasks spent queued before a worker picked them up.
+  double total_queue_wait_ms = 0.0;
+  /// Total time workers spent running tasks (sum over workers).
+  double total_busy_ms = 0.0;
+  /// Busy time per worker, indexed 0..thread_count-1.
+  std::vector<double> per_worker_busy_ms;
+};
+
 /// Fixed-size thread pool with task futures and a blocking parallel_for.
 class ThreadPool {
  public:
-  /// Spawns `n_threads` workers (>= 1).
+  /// Spawns `n_threads` workers; throws cellscope::Error when n_threads
+  /// is 0 (a zero-worker pool would hang every submit forever).
   explicit ThreadPool(std::size_t n_threads);
 
   /// Joins all workers; pending tasks are completed first.
@@ -39,14 +63,33 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Utilization counters accumulated since construction.
+  ThreadPoolStats stats() const;
+
  private:
-  void worker_loop();
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // Pool-local stats (relaxed atomics; snapshotted by stats()).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> queue_wait_ns_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_ns_;  // per worker
+
+  // Process-global metrics (registered once, hot-path cached).
+  obs::Counter* metric_submitted_;
+  obs::Counter* metric_completed_;
+  obs::Gauge* metric_queue_depth_;
 };
 
 /// A sensible default worker count for this machine (at least 2 so the

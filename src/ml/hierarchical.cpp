@@ -5,6 +5,9 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace cellscope {
 
@@ -50,6 +53,8 @@ double lance_williams(Linkage linkage, double d_ki, double d_kj,
 }  // namespace
 
 Dendrogram Dendrogram::run(DistanceMatrix distances, Linkage linkage) {
+  obs::ScopedTimer timer(
+      obs::MetricsRegistry::instance().histogram("cellscope.ml.cluster_ms"));
   const std::size_t n = distances.n();
   std::vector<bool> active(n, true);
   std::vector<std::size_t> size(n, 1);
@@ -127,6 +132,13 @@ Dendrogram Dendrogram::run(DistanceMatrix distances, Linkage linkage) {
                    [](const Merge& x, const Merge& y) {
                      return x.distance < y.distance;
                    });
+  obs::MetricsRegistry::instance()
+      .counter("cellscope.ml.merge_steps")
+      .add(merges.size());
+  obs::log_debug("hierarchical.done",
+                 {{"leaves", n},
+                  {"merges", merges.size()},
+                  {"wall_ms", timer.elapsed_ms()}});
   return Dendrogram(n, std::move(merges));
 }
 

@@ -6,6 +6,9 @@
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace cellscope {
 
@@ -136,10 +139,16 @@ std::vector<DbiSweepPoint> dbi_sweep(
                "sweep bounds must satisfy 2 <= k_min <= k_max <= n");
   CS_CHECK_MSG(points.size() == dendrogram.n(),
                "points must match the dendrogram");
+  auto& registry = obs::MetricsRegistry::instance();
+  obs::ScopedTimer sweep_timer(
+      registry.histogram("cellscope.ml.dbi_sweep_ms"));
+  auto& per_k_histogram = registry.histogram("cellscope.ml.dbi_k_ms");
+  auto& cuts_evaluated = registry.counter("cellscope.ml.dbi_cuts_evaluated");
   std::vector<DbiSweepPoint> sweep;
   sweep.reserve(k_max - k_min + 1);
   const auto& merges = dendrogram.merges();
   for (std::size_t k = k_min; k <= k_max; ++k) {
+    obs::ScopedTimer k_timer(per_k_histogram);
     DbiSweepPoint point;
     point.k = k;
     // After n-k merges there are k clusters; the next merge distance is
@@ -155,6 +164,11 @@ std::vector<DbiSweepPoint> dbi_sweep(
         break;
       }
     }
+    cuts_evaluated.add(1);
+    obs::log_debug("dbi_sweep.cut", {{"k", k},
+                                     {"dbi", point.dbi},
+                                     {"valid", point.valid},
+                                     {"wall_ms", k_timer.elapsed_ms()}});
     sweep.push_back(point);
   }
   return sweep;

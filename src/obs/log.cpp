@@ -1,0 +1,186 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <chrono>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace cellscope::obs {
+
+namespace {
+
+constexpr std::string_view kLevelNames[] = {"trace", "debug", "info",
+                                            "warn",  "error", "off"};
+
+bool needs_quoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20)
+      return true;
+  }
+  return false;
+}
+
+std::string timestamp_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto secs = system_clock::to_time_t(now);
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  const std::size_t len = std::strftime(buf, sizeof(buf), "%FT%T", &tm);
+  char out[48];
+  std::snprintf(out, sizeof(out), "%.*s.%03dZ", static_cast<int>(len), buf,
+                static_cast<int>(ms));
+  return out;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view text) {
+  for (int i = 0; i <= static_cast<int>(LogLevel::kOff); ++i)
+    if (text == kLevelNames[i]) return static_cast<LogLevel>(i);
+  throw InvalidArgument("unknown log level: " + std::string(text));
+}
+
+std::string_view log_level_name(LogLevel level) {
+  const int i = static_cast<int>(level);
+  CS_CHECK_MSG(i >= 0 && i <= static_cast<int>(LogLevel::kOff),
+               "log level out of range");
+  return kLevelNames[i];
+}
+
+LogField::LogField(std::string_view k, double v) : key(k) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  value = buf;
+}
+
+std::string escape_log_value(std::string_view value) {
+  if (!needs_quoting(value)) return std::string(value);
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string format_log_line(LogLevel level, std::string_view event,
+                            const std::vector<LogField>& fields) {
+  std::string line = "ts=" + timestamp_now();
+  line += " level=";
+  line += log_level_name(level);
+  line += " event=";
+  line += escape_log_value(event);
+  for (const auto& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    line += escape_log_value(f.value);
+  }
+  return line;
+}
+
+struct Logger::Sink {
+  std::mutex mutex;
+  std::FILE* file = nullptr;
+};
+
+Logger::Logger() : level_(static_cast<int>(LogLevel::kWarn)),
+                   sink_(new Sink) {
+  // CELLSCOPE_LOG = <level>[,file=PATH]
+  const char* env = std::getenv("CELLSCOPE_LOG");
+  if (!env || !*env) return;
+  for (const auto& part : split(env, ',')) {
+    const auto token = trim(part);
+    if (token.starts_with("file=")) {
+      try {
+        set_file(std::string(token.substr(5)));
+      } catch (const Error&) {
+        // An unopenable sink must not take the process down.
+      }
+    } else if (!token.empty()) {
+      try {
+        set_level(parse_log_level(token));
+      } catch (const Error&) {
+        // Unknown level: keep the default rather than crash at startup.
+      }
+    }
+  }
+}
+
+Logger::~Logger() {
+  close_file();
+  // sink_ is intentionally leaked: log calls from other static destructors
+  // must not touch a destroyed mutex.
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (!file) throw IoError("cannot open log sink: " + path);
+  std::lock_guard<std::mutex> lock(sink_->mutex);
+  if (sink_->file) std::fclose(sink_->file);
+  sink_->file = file;
+}
+
+void Logger::close_file() {
+  std::lock_guard<std::mutex> lock(sink_->mutex);
+  if (sink_->file) {
+    std::fclose(sink_->file);
+    sink_->file = nullptr;
+  }
+}
+
+void Logger::set_stderr(bool enabled) {
+  to_stderr_.store(enabled, std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel level, std::string_view event,
+                 const std::vector<LogField>& fields) {
+  if (!enabled(level)) return;
+  const std::string line = format_log_line(level, event, fields);
+  std::lock_guard<std::mutex> lock(sink_->mutex);
+  if (to_stderr_.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  if (sink_->file) {
+    std::fprintf(sink_->file, "%s\n", line.c_str());
+    std::fflush(sink_->file);
+  }
+}
+
+}  // namespace cellscope::obs

@@ -1,0 +1,193 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace cellscope::obs {
+
+namespace {
+
+/// CAS-adds a double stored bit-packed in a uint64 atomic (portable
+/// substitute for std::atomic<double>::fetch_add).
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) noexcept {
+  std::uint64_t seen = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double current = std::bit_cast<double>(seen);
+    const std::uint64_t next = std::bit_cast<std::uint64_t>(current + delta);
+    if (bits.compare_exchange_weak(seen, next, std::memory_order_relaxed))
+      return;
+  }
+}
+
+std::string format_json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  CS_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  CS_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                   std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                       bounds_.end(),
+               "histogram bounds must be strictly ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_bits_, value);
+}
+
+double Histogram::sum() const noexcept {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::mean() const noexcept {
+  const auto n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  return counts;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> default_ms_buckets() {
+  return {0.1, 0.25, 0.5,  1.0,  2.5,  5.0,   10.0,  25.0,
+          50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0, 60000.0};
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  return *it->second;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string json = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) json += ',';
+    first = false;
+    json += '"' + json_escape(name) + "\":" + std::to_string(c->value());
+  }
+  json += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) json += ',';
+    first = false;
+    json += '"' + json_escape(name) + "\":{\"value\":" +
+            std::to_string(g->value()) +
+            ",\"max\":" + std::to_string(g->max_value()) + '}';
+  }
+  json += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) json += ',';
+    first = false;
+    json += '"' + json_escape(name) + "\":{\"count\":" +
+            std::to_string(h->count()) +
+            ",\"sum\":" + format_json_double(h->sum()) + ",\"buckets\":[";
+    const auto& bounds = h->upper_bounds();
+    const auto counts = h->bucket_counts();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i) json += ',';
+      json += "{\"le\":" + format_json_double(bounds[i]) +
+              ",\"count\":" + std::to_string(counts[i]) + '}';
+    }
+    json += "],\"overflow\":" + std::to_string(counts.back()) + '}';
+  }
+  json += "}}";
+  return json;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace cellscope::obs

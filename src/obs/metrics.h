@@ -1,0 +1,139 @@
+// Process-global metrics: named counters, gauges, and fixed-bucket
+// histograms with a JSON snapshot export.
+//
+// Registration (name -> metric lookup) takes a mutex once; the returned
+// references are stable for the process lifetime, so call sites cache
+// them and the hot path is a relaxed atomic per update — safe to hammer
+// from every worker thread. Names follow cellscope.<layer>.<name>
+// (DESIGN.md §7).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellscope::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (e.g. queue depth) with a high-watermark.
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+    update_max(value);
+  }
+  void add(std::int64_t delta) noexcept {
+    update_max(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max_value() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void update_max(std::int64_t candidate) noexcept {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !max_.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket histogram with "less-or-equal" upper bounds (Prometheus
+/// convention): observe(v) lands in the first bucket whose bound >= v,
+/// or the overflow bucket when v exceeds every bound.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept;
+  double mean() const noexcept;
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts; the final entry is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // bit-packed double (CAS add)
+};
+
+/// Wall-clock-millisecond bucket bounds shared by the stage/duration
+/// histograms (0.1 ms .. 60 s).
+std::vector<double> default_ms_buckets();
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(std::string_view s);
+
+/// The process-global registry.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Finds or creates a metric; references stay valid for the process
+  /// lifetime. For histograms the first registration fixes the buckets.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+  Histogram& histogram(std::string_view name) {
+    return histogram(name, default_ms_buckets());
+  }
+
+  /// One JSON object with "counters", "gauges", and "histograms" keys,
+  /// metrics sorted by name.
+  std::string snapshot_json() const;
+
+  /// Zeroes every registered metric (tests and bench reports).
+  void reset();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace cellscope::obs

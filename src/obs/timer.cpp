@@ -1,0 +1,175 @@
+#include "obs/timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace cellscope::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+// Touch the start time as early as static init allows so ts values are
+// close to true process-relative time.
+[[maybe_unused]] const auto kStartAnchor = process_start();
+
+std::uint64_t current_tid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xFFFF;
+}
+
+std::string format_us(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - process_start())
+      .count();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (sink_) sink_->observe(elapsed_ms());
+}
+
+struct StageTrace::State {
+  mutable std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::unordered_map<std::uint64_t, std::size_t> open;  // token -> index
+  std::uint64_t next_token = 1;
+};
+
+StageTrace::StageTrace() : state_(new State) {
+  const char* env = std::getenv("CELLSCOPE_TRACE");
+  if (env && *env) {
+    exit_path_ = env;
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+StageTrace::~StageTrace() {
+  if (!exit_path_.empty()) {
+    try {
+      write_chrome_trace(exit_path_);
+    } catch (...) {
+      // Exit-time trace dumps must never terminate the process.
+    }
+  }
+  // state_ is intentionally leaked: spans closing from other static
+  // destructors must not touch a destroyed mutex.
+}
+
+StageTrace& StageTrace::instance() {
+  static StageTrace trace;
+  return trace;
+}
+
+std::uint64_t StageTrace::begin(std::string_view name,
+                                std::string_view category) {
+  if (!enabled()) return 0;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_us = now_us();
+  event.dur_us = -1.0;  // open
+  event.tid = current_tid();
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const std::uint64_t token = state_->next_token++;
+  state_->open.emplace(token, state_->events.size());
+  state_->events.push_back(std::move(event));
+  return token;
+}
+
+void StageTrace::end(std::uint64_t token) {
+  if (token == 0) return;
+  const double t = now_us();
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const auto it = state_->open.find(token);
+  if (it == state_->open.end()) return;  // cleared mid-span
+  auto& event = state_->events[it->second];
+  event.dur_us = t - event.ts_us;
+  state_->open.erase(it);
+}
+
+std::vector<TraceEvent> StageTrace::events() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::vector<TraceEvent> completed;
+  completed.reserve(state_->events.size());
+  for (const auto& e : state_->events)
+    if (e.dur_us >= 0.0) completed.push_back(e);
+  return completed;
+}
+
+void StageTrace::clear() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->events.clear();
+  state_->open.clear();
+}
+
+std::string StageTrace::chrome_trace_json() const {
+  const auto completed = events();
+  std::string json = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : completed) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+            json_escape(e.category) + "\",\"ph\":\"X\",\"ts\":" +
+            format_us(e.ts_us) + ",\"dur\":" + format_us(e.dur_us) +
+            ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + '}';
+  }
+  json += "],\"displayTimeUnit\":\"ms\"}";
+  return json;
+}
+
+void StageTrace::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) throw IoError("cannot write trace: " + path);
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
+
+StageSpan::StageSpan(std::string_view stage, std::string_view category,
+                     LogLevel level)
+    : stage_(stage),
+      level_(level),
+      token_(StageTrace::instance().begin(stage, category)),
+      histogram_(&MetricsRegistry::instance().histogram(
+          "cellscope." + std::string(category) + ".stage_ms")),
+      start_(std::chrono::steady_clock::now()) {}
+
+void StageSpan::annotate(LogField field) {
+  fields_.push_back(std::move(field));
+}
+
+StageSpan::~StageSpan() {
+  const double wall_ms = elapsed_ms();
+  StageTrace::instance().end(token_);
+  histogram_->observe(wall_ms);
+  auto& logger = Logger::instance();
+  if (logger.enabled(level_)) {
+    std::vector<LogField> fields;
+    fields.reserve(fields_.size() + 2);
+    fields.emplace_back("stage", stage_);
+    fields.emplace_back("wall_ms", wall_ms);
+    for (auto& f : fields_) fields.push_back(std::move(f));
+    logger.log(level_, "stage.done", fields);
+  }
+}
+
+}  // namespace cellscope::obs

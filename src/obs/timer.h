@@ -1,0 +1,135 @@
+// Wall-clock timing primitives: RAII timers feeding histograms, and a
+// process-global stage trace that can emit Chrome trace-event JSON.
+//
+// StageTrace records begin/end spans per pipeline stage. Recording is off
+// unless CELLSCOPE_TRACE=<path> is set (the trace is written to <path> at
+// process exit) or a test enables it explicitly; when off, a span costs
+// one relaxed atomic load. View traces in chrome://tracing or
+// https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace cellscope::obs {
+
+class Histogram;
+
+/// Monotonic microseconds since process start (steady clock).
+double now_us();
+
+/// Observes its elapsed wall time, in milliseconds, into a histogram on
+/// destruction. Pass nullptr to only measure (elapsed_ms()).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* sink = nullptr)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  explicit ScopedTimer(Histogram& sink) : ScopedTimer(&sink) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Milliseconds since construction; monotonically non-decreasing.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  ~ScopedTimer();
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;   ///< start, microseconds since process start
+  double dur_us = 0.0;  ///< duration in microseconds
+  std::uint64_t tid = 0;
+};
+
+/// Process-global begin/end span recorder.
+class StageTrace {
+ public:
+  /// Singleton; first call reads CELLSCOPE_TRACE. When the env var is set,
+  /// recording is enabled and the trace is written there at process exit.
+  static StageTrace& instance();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Opens a span; returns a token for end(), 0 when recording is off.
+  std::uint64_t begin(std::string_view name, std::string_view category);
+
+  /// Closes the span opened under `token` (0 is a no-op).
+  void end(std::uint64_t token);
+
+  /// Completed spans recorded so far.
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// Chrome trace-event format ("traceEvents" of complete "X" events).
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  StageTrace(const StageTrace&) = delete;
+  StageTrace& operator=(const StageTrace&) = delete;
+
+ private:
+  StageTrace();
+  ~StageTrace();
+
+  std::atomic<bool> enabled_{false};
+  std::string exit_path_;  // from CELLSCOPE_TRACE; empty = no exit dump
+  struct State;
+  State* state_;
+};
+
+/// RAII pipeline-stage span: opens a StageTrace span, observes its wall
+/// time into the `cellscope.<category>.stage_ms` histogram, and logs one
+/// structured line (event=stage.done, stage, wall_ms, annotations) at the
+/// requested level on destruction.
+class StageSpan {
+ public:
+  explicit StageSpan(std::string_view stage,
+                     std::string_view category = "pipeline",
+                     LogLevel level = LogLevel::kInfo);
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+  /// Attaches a field to the stage.done log line.
+  void annotate(LogField field);
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  ~StageSpan();
+
+ private:
+  std::string stage_;
+  LogLevel level_;
+  std::vector<LogField> fields_;
+  std::uint64_t token_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cellscope::obs

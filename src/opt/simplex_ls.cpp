@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace cellscope {
 
@@ -102,6 +103,10 @@ SimplexLsResult solve_simplex_ls(
   CS_CHECK_MSG(!best.coefficients.empty(),
                "no feasible support found (should be impossible)");
   best.fitted = a.multiply(best.coefficients);
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("cellscope.opt.qp_solves").add(1);
+  registry.counter("cellscope.opt.qp_supports_evaluated")
+      .add((1u << m) - 1);
   return best;
 }
 
@@ -145,7 +150,9 @@ SimplexLsResult solve_simplex_ls_pg(
   const double step = trace > 0.0 ? 1.0 / (2.0 * trace) : 1.0;
 
   std::vector<double> x(m, 1.0 / static_cast<double>(m));
+  std::size_t iterations_used = 0;
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    ++iterations_used;
     // grad = 2 (G x - Aᵀb)
     std::vector<double> grad(m, 0.0);
     for (std::size_t i = 0; i < m; ++i) {
@@ -163,6 +170,10 @@ SimplexLsResult solve_simplex_ls_pg(
     x = std::move(next);
     if (delta < tolerance * tolerance) break;
   }
+
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("cellscope.opt.qp_solves").add(1);
+  registry.counter("cellscope.opt.qp_iterations").add(iterations_used);
 
   SimplexLsResult result;
   result.coefficients = x;

@@ -5,6 +5,9 @@
 
 #include "common/error.h"
 #include "mapred/mapreduce.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace cellscope {
 
@@ -27,6 +30,7 @@ TrafficMatrix vectorize_logs(const std::vector<TrafficLog>& logs,
 
   // Map: log -> ((tower, slot), bytes); combine: sum. Keys are packed into
   // one 64-bit integer — the shuffle key of the Hadoop job.
+  obs::ScopedTimer timer;
   MapReduceOptions mr;
   mr.chunk_size = options.chunk_size;
   const auto aggregated = map_reduce<TrafficLog, std::uint64_t, double>(
@@ -44,12 +48,28 @@ TrafficMatrix vectorize_logs(const std::vector<TrafficLog>& logs,
       },
       [](double& acc, double value) { acc += value; }, mr);
 
+  double total_bytes = 0.0;
   for (const auto& [key, bytes] : aggregated) {
     const auto tower_id = static_cast<std::uint32_t>(key >> 32);
     const auto slot = static_cast<std::size_t>(key & 0xFFFFFFFFULL);
     matrix.rows[row_of.at(tower_id)][slot] = bytes;
+    total_bytes += bytes;
   }
   matrix.check();
+
+  const std::size_t n_chunks =
+      logs.empty() ? 0 : (logs.size() + mr.chunk_size - 1) / mr.chunk_size;
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("cellscope.pipeline.vectorizer_chunks").add(n_chunks);
+  registry.counter("cellscope.pipeline.vectorizer_logs").add(logs.size());
+  registry.counter("cellscope.pipeline.vectorizer_bytes")
+      .add(static_cast<std::uint64_t>(total_bytes));
+  obs::log_debug("vectorizer.logs_done",
+                 {{"logs", logs.size()},
+                  {"chunks", n_chunks},
+                  {"towers", towers.size()},
+                  {"bytes", total_bytes},
+                  {"wall_ms", timer.elapsed_ms()}});
   return matrix;
 }
 
@@ -58,6 +78,7 @@ TrafficMatrix vectorize_intensity(const std::vector<Tower>& towers,
                                   std::uint64_t seed) {
   CS_CHECK_MSG(towers.size() == intensity.size(),
                "towers and intensity model must match");
+  obs::ScopedTimer timer;
   Rng rng(seed);
   TrafficMatrix matrix;
   matrix.tower_ids.reserve(towers.size());
@@ -68,6 +89,12 @@ TrafficMatrix vectorize_intensity(const std::vector<Tower>& towers,
     matrix.rows.push_back(intensity.sample_series(t.id, tower_rng));
   }
   matrix.check();
+  obs::MetricsRegistry::instance()
+      .counter("cellscope.pipeline.vectorizer_rows")
+      .add(matrix.n());
+  obs::log_debug("vectorizer.intensity_done",
+                 {{"towers", towers.size()},
+                  {"wall_ms", timer.elapsed_ms()}});
   return matrix;
 }
 

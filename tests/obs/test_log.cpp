@@ -1,0 +1,138 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cellscope::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Saves and restores the global logger state around a test, with stderr
+/// silenced so expected log lines don't pollute test output.
+class LoggerGuard {
+ public:
+  LoggerGuard() : saved_level_(Logger::instance().level()) {
+    Logger::instance().set_stderr(false);
+  }
+  ~LoggerGuard() {
+    Logger::instance().close_file();
+    Logger::instance().set_level(saved_level_);
+    Logger::instance().set_stderr(true);
+  }
+
+ private:
+  LogLevel saved_level_;
+};
+
+TEST(LogLevel, ParsesEveryName) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW(parse_log_level("verbose"), InvalidArgument);
+}
+
+TEST(LogLevel, NamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(LogLevel::kOff); ++i) {
+    const auto level = static_cast<LogLevel>(i);
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+TEST(LogFormat, PlainValuesStayUnquoted) {
+  EXPECT_EQ(escape_log_value("clustering"), "clustering");
+  EXPECT_EQ(escape_log_value("123.5"), "123.5");
+}
+
+TEST(LogFormat, ValuesNeedingQuotesAreEscaped) {
+  EXPECT_EQ(escape_log_value("a b"), "\"a b\"");
+  EXPECT_EQ(escape_log_value(""), "\"\"");
+  EXPECT_EQ(escape_log_value("k=v"), "\"k=v\"");
+  EXPECT_EQ(escape_log_value("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(escape_log_value("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(escape_log_value("two\nlines"), "\"two\\nlines\"");
+}
+
+TEST(LogFormat, LineContainsLevelEventAndFields) {
+  const auto line = format_log_line(
+      LogLevel::kInfo, "stage.done",
+      {{"stage", "pipeline.vectorize"}, {"towers", 800}, {"note", "a b"}});
+  EXPECT_NE(line.find("ts="), std::string::npos);
+  EXPECT_NE(line.find(" level=info"), std::string::npos);
+  EXPECT_NE(line.find(" event=stage.done"), std::string::npos);
+  EXPECT_NE(line.find(" stage=pipeline.vectorize"), std::string::npos);
+  EXPECT_NE(line.find(" towers=800"), std::string::npos);
+  EXPECT_NE(line.find(" note=\"a b\""), std::string::npos);
+}
+
+TEST(LogFormat, DoubleFieldsUseCompactFormatting) {
+  const auto line = format_log_line(LogLevel::kWarn, "x", {{"v", 1.5}});
+  EXPECT_NE(line.find("v=1.5"), std::string::npos);
+}
+
+TEST(Logger, LevelFiltersRecordsBelowThreshold) {
+  LoggerGuard guard;
+  auto& logger = Logger::instance();
+  const std::string path =
+      testing::TempDir() + "/cellscope_log_filter_test.log";
+  std::remove(path.c_str());
+  logger.set_file(path);
+
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  logger.log(LogLevel::kInfo, "filtered.out", {{"k", 1}});
+  logger.log(LogLevel::kWarn, "kept", {{"k", 2}});
+  logger.close_file();
+
+  const auto contents = read_file(path);
+  EXPECT_EQ(contents.find("filtered.out"), std::string::npos);
+  EXPECT_NE(contents.find("event=kept"), std::string::npos);
+  EXPECT_NE(contents.find("k=2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Logger, OffDisablesEverything) {
+  LoggerGuard guard;
+  auto& logger = Logger::instance();
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  EXPECT_FALSE(logger.enabled(LogLevel::kOff));
+}
+
+TEST(Logger, FileSinkAppendsAcrossReopens) {
+  LoggerGuard guard;
+  auto& logger = Logger::instance();
+  const std::string path =
+      testing::TempDir() + "/cellscope_log_append_test.log";
+  std::remove(path.c_str());
+  logger.set_level(LogLevel::kInfo);
+
+  logger.set_file(path);
+  logger.log(LogLevel::kInfo, "first");
+  logger.close_file();
+  logger.set_file(path);
+  logger.log(LogLevel::kInfo, "second");
+  logger.close_file();
+
+  const auto contents = read_file(path);
+  EXPECT_NE(contents.find("event=first"), std::string::npos);
+  EXPECT_NE(contents.find("event=second"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cellscope::obs

@@ -1,0 +1,130 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cellscope::obs {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  auto& counter =
+      MetricsRegistry::instance().counter("test.counter.concurrent");
+  counter.reset();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Counter, AddWithDelta) {
+  Counter c;
+  c.add(5);
+  c.add(7);
+  EXPECT_EQ(c.value(), 12u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksValueAndHighWatermark) {
+  Gauge g;
+  g.add(3);
+  g.add(4);
+  g.add(-5);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max_value(), 7);
+  g.set(1);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.max_value(), 7);  // watermark survives set
+}
+
+TEST(Histogram, BucketBoundariesAreLessOrEqual) {
+  Histogram h({1.0, 2.0, 4.0});
+  // le-semantics: a value equal to a bound lands in that bound's bucket.
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(2.0);
+  h.observe(4.0);
+  h.observe(5.0);  // above every bound -> overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);  // 0.5, 1.0
+  EXPECT_EQ(counts[1], 2u);  // 1.5, 2.0
+  EXPECT_EQ(counts[2], 1u);  // 4.0
+  EXPECT_EQ(counts[3], 1u);  // 5.0 overflow
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 14.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 14.0 / 6.0);
+}
+
+TEST(Histogram, ConcurrentObservationsSumExactly) {
+  Histogram h({10.0, 100.0});
+  constexpr int kThreads = 6;
+  constexpr int kObservations = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObservations; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kObservations);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kObservations);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({}), Error);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameMetric) {
+  auto& registry = MetricsRegistry::instance();
+  EXPECT_EQ(&registry.counter("test.registry.same"),
+            &registry.counter("test.registry.same"));
+  EXPECT_EQ(&registry.gauge("test.registry.same_gauge"),
+            &registry.gauge("test.registry.same_gauge"));
+  EXPECT_EQ(&registry.histogram("test.registry.same_hist"),
+            &registry.histogram("test.registry.same_hist"));
+}
+
+TEST(MetricsRegistry, SnapshotJsonContainsRegisteredMetrics) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.snapshot.counter").add(42);
+  registry.gauge("test.snapshot.gauge").set(7);
+  registry.histogram("test.snapshot.hist", {1.0, 10.0}).observe(0.5);
+
+  const auto json = registry.snapshot_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.snapshot.counter\":"), std::string::npos);
+  EXPECT_NE(json.find("\"test.snapshot.gauge\":{\"value\":7"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"test.snapshot.hist\":{\"count\":"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"le\":1,\"count\":1}"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace cellscope::obs

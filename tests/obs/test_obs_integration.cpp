@@ -1,0 +1,90 @@
+// Integration: a full Experiment::run must emit exactly one pipeline span
+// per stage (the six steps of experiment.h) and feed the layer metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+namespace cellscope {
+namespace {
+
+constexpr const char* kStageNames[] = {
+    "pipeline.city_deploy", "pipeline.intensity_poi", "pipeline.vectorize",
+    "pipeline.zscore",      "pipeline.cluster_tune",  "pipeline.label_validate",
+};
+
+TEST(ObsIntegration, ExperimentEmitsOneSpanPerPipelineStage) {
+  auto& trace = obs::StageTrace::instance();
+  const bool was_enabled = trace.enabled();
+  trace.clear();
+  trace.set_enabled(true);
+
+  ExperimentConfig config;
+  config.n_towers = 60;
+  config.seed = 7;
+  const auto experiment = Experiment::run(config);
+  EXPECT_GE(experiment.n_clusters(), 2u);
+
+  const auto events = trace.events();
+  trace.clear();
+  trace.set_enabled(was_enabled);
+
+  std::vector<std::string> pipeline_spans;
+  for (const auto& e : events) {
+    if (e.category == "pipeline") pipeline_spans.push_back(e.name);
+    EXPECT_GE(e.dur_us, 0.0) << e.name;
+  }
+  ASSERT_EQ(pipeline_spans.size(), std::size(kStageNames));
+  for (const auto* stage : kStageNames) {
+    EXPECT_EQ(std::count(pipeline_spans.begin(), pipeline_spans.end(),
+                         std::string(stage)),
+              1)
+        << "missing or duplicated span: " << stage;
+  }
+}
+
+TEST(ObsIntegration, ExperimentFeedsLayerMetrics) {
+  auto& registry = obs::MetricsRegistry::instance();
+  auto& merges = registry.counter("cellscope.ml.merge_steps");
+  auto& cuts = registry.counter("cellscope.ml.dbi_cuts_evaluated");
+  auto& rows = registry.counter("cellscope.pipeline.vectorizer_rows");
+  const auto merges_before = merges.value();
+  const auto cuts_before = cuts.value();
+  const auto rows_before = rows.value();
+
+  ExperimentConfig config;
+  config.n_towers = 60;
+  config.seed = 11;
+  const auto experiment = Experiment::run(config);
+
+  // 60 leaves -> 59 agglomerative merges; the sweep spans k_min..k_max.
+  EXPECT_EQ(merges.value() - merges_before, config.n_towers - 1);
+  EXPECT_EQ(cuts.value() - cuts_before,
+            experiment.dbi_sweep_result().size());
+  EXPECT_EQ(rows.value() - rows_before, config.n_towers);
+
+  // Stage wall times were observed into the pipeline histogram.
+  EXPECT_GE(registry.histogram("cellscope.pipeline.stage_ms").count(), 6u);
+}
+
+TEST(ObsIntegration, MetricsSnapshotNamesFollowLayerScheme) {
+  ExperimentConfig config;
+  config.n_towers = 60;
+  config.seed = 13;
+  Experiment::run(config);
+  const auto json = obs::MetricsRegistry::instance().snapshot_json();
+  EXPECT_NE(json.find("cellscope.ml.merge_steps"), std::string::npos);
+  EXPECT_NE(json.find("cellscope.ml.dbi_cuts_evaluated"), std::string::npos);
+  EXPECT_NE(json.find("cellscope.pipeline.vectorizer_rows"),
+            std::string::npos);
+  EXPECT_NE(json.find("cellscope.pipeline.stage_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cellscope
