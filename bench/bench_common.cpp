@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "common/error.h"
-#include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/timer.h"
 
 namespace cellscope::bench {
@@ -52,12 +52,6 @@ std::string sci(double v) {
 
 namespace {
 
-std::string format_json_double(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6f", v);
-  return buf;
-}
-
 std::string bench_report_path(const std::string& name) {
   std::string dir = ".";
   if (const char* env = std::getenv("CELLSCOPE_BENCH_DIR"); env && *env)
@@ -84,29 +78,14 @@ void write_report_at_exit() {
 }  // namespace
 
 std::string report_json(const std::string& name) {
+  // BENCH_*.json shares the run-report schema (obs/report.h): build
+  // identity, config, stage spans, metrics with percentiles, quality
+  // verdicts. bench_compare gates on its top-level "wall_s".
   const std::string path = bench_report_path(name);
-  std::string json = "{\"bench\":\"" + obs::json_escape(name) + "\"";
-  json += ",\"towers\":" + std::to_string(bench_towers());
-  json += ",\"seed\":" + std::to_string(bench_seed());
-  json += ",\"wall_s\":" + format_json_double(obs::now_us() / 1e6);
-  json += ",\"stages\":[";
-  bool first = true;
-  for (const auto& e : obs::StageTrace::instance().events()) {
-    if (!first) json += ',';
-    first = false;
-    json += "{\"name\":\"" + obs::json_escape(e.name) + "\",\"cat\":\"" +
-            obs::json_escape(e.category) +
-            "\",\"ts_us\":" + format_json_double(e.ts_us) +
-            ",\"dur_us\":" + format_json_double(e.dur_us) + '}';
-  }
-  json += "],\"metrics\":" + obs::MetricsRegistry::instance().snapshot_json();
-  json += "}";
-
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (!file) throw IoError("cannot write bench report: " + path);
-  std::fwrite(json.data(), 1, json.size(), file);
-  std::fputc('\n', file);
-  std::fclose(file);
+  obs::RunReport report(name);
+  report.add_config("towers", bench_towers());
+  report.add_config("seed", bench_seed());
+  report.write(path);
   return path;
 }
 
@@ -114,6 +93,9 @@ void enable_json_report(const std::string& name) {
   // Record pipeline spans even without CELLSCOPE_TRACE so the report can
   // break the run down per stage.
   obs::StageTrace::instance().set_enabled(true);
+  // With CELLSCOPE_RUN_REPORT set, also emit a run report named after
+  // this bench at exit (the bench name wins over "experiment").
+  obs::arm_run_report(name);
   const bool already_registered = !registered_report_name().empty();
   registered_report_name() = name;
   if (!already_registered) std::atexit(write_report_at_exit);

@@ -30,9 +30,11 @@ void banner(const std::string& artifact, const std::string& description);
 /// "X.XXe+08"-style compact scientific formatting for byte counts.
 std::string sci(double v);
 
-/// Writes BENCH_<name>.json — process wall time, every recorded pipeline
-/// stage span, and the full metrics snapshot — into the current directory
-/// (or $CELLSCOPE_BENCH_DIR). Returns the path written.
+/// Writes BENCH_<name>.json — the run-report schema of obs/report.h:
+/// build identity, config, stage spans, metrics snapshot (with
+/// percentiles), and quality verdicts — into the current directory
+/// (or $CELLSCOPE_BENCH_DIR). Returns the path written. bench_compare
+/// diffs these against bench/baselines/ (scripts/check_perf.sh).
 std::string report_json(const std::string& name);
 
 /// Enables stage-span recording and registers an atexit hook that calls

@@ -1,0 +1,160 @@
+// Perf-regression gate: diffs fresh BENCH_*.json reports against committed
+// baselines and fails on wall-time regressions beyond a threshold.
+//
+//   bench_compare <baseline.json|dir> <fresh.json|dir> [threshold]
+//
+// File mode compares one report pair; directory mode pairs every
+// BENCH_*.json in the baseline directory with its namesake in the fresh
+// directory. The gate is the report's top-level "wall_s" (whole-process
+// wall time): fresh > (1 + threshold) * baseline fails. Per-stage span
+// totals are printed as context but do not gate (they are noisier).
+// Exit codes: 0 = within budget, 1 = regression (or missing fresh
+// report), 2 = usage/parse error. Driven by scripts/check_perf.sh.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace fs = std::filesystem;
+using cellscope::JsonValue;
+
+namespace {
+
+constexpr double kDefaultThreshold = 0.15;
+
+JsonValue load_report(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw cellscope::IoError("cannot read report: " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return JsonValue::parse(buffer.str());
+}
+
+/// Sum of span durations per stage name, in milliseconds.
+std::map<std::string, double> stage_totals_ms(const JsonValue& report) {
+  std::map<std::string, double> totals;
+  if (!report.contains("stages")) return totals;
+  for (const auto& stage : report.at("stages").as_array())
+    totals[stage.at("name").as_string()] +=
+        stage.at("dur_us").as_number() / 1e3;
+  return totals;
+}
+
+std::string format_pct(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", ratio * 100.0);
+  return buf;
+}
+
+std::string format_s(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  return buf;
+}
+
+/// Compares one baseline/fresh pair; returns true when within budget.
+bool compare_pair(const fs::path& baseline_path, const fs::path& fresh_path,
+                  double threshold) {
+  const JsonValue baseline = load_report(baseline_path);
+  const JsonValue fresh = load_report(fresh_path);
+
+  const double base_wall = baseline.at("wall_s").as_number();
+  const double fresh_wall = fresh.at("wall_s").as_number();
+  if (base_wall <= 0.0) {
+    std::cout << "SKIP  " << baseline_path.filename().string()
+              << "  (baseline wall_s <= 0)\n";
+    return true;
+  }
+  const double ratio = fresh_wall / base_wall - 1.0;
+  const bool ok = ratio <= threshold;
+  std::cout << (ok ? "OK    " : "FAIL  ")
+            << baseline_path.filename().string() << "  wall "
+            << format_s(base_wall) << " -> " << format_s(fresh_wall) << "  ("
+            << format_pct(ratio) << ", budget +"
+            << static_cast<int>(threshold * 100.0) << "%)\n";
+
+  // Per-stage context: the three biggest movers among shared stages.
+  const auto base_stages = stage_totals_ms(baseline);
+  const auto fresh_stages = stage_totals_ms(fresh);
+  std::vector<std::pair<double, std::string>> movers;
+  for (const auto& [name, base_ms] : base_stages) {
+    const auto it = fresh_stages.find(name);
+    if (it == fresh_stages.end() || base_ms <= 0.0) continue;
+    movers.emplace_back(it->second / base_ms - 1.0, name);
+  }
+  std::sort(movers.begin(), movers.end(), [](const auto& a, const auto& b) {
+    return std::abs(a.first) > std::abs(b.first);
+  });
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, movers.size()); ++i)
+    std::cout << "        stage " << movers[i].second << "  "
+              << format_pct(movers[i].first) << "\n";
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::cerr << "usage: bench_compare <baseline.json|dir> <fresh.json|dir> "
+                 "[threshold]\n";
+    return 2;
+  }
+  const fs::path baseline_arg = argv[1];
+  const fs::path fresh_arg = argv[2];
+  double threshold = kDefaultThreshold;
+  if (argc == 4) {
+    try {
+      threshold = std::stod(argv[3]);
+    } catch (const std::exception&) {
+      std::cerr << "bench_compare: invalid threshold: " << argv[3] << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    if (fs::is_directory(baseline_arg)) {
+      if (!fs::is_directory(fresh_arg)) {
+        std::cerr << "bench_compare: " << fresh_arg
+                  << " must be a directory when the baseline is one\n";
+        return 2;
+      }
+      std::vector<fs::path> baselines;
+      for (const auto& entry : fs::directory_iterator(baseline_arg)) {
+        const std::string name = entry.path().filename().string();
+        if (entry.is_regular_file() && name.starts_with("BENCH_") &&
+            name.ends_with(".json"))
+          baselines.push_back(entry.path());
+      }
+      std::sort(baselines.begin(), baselines.end());
+      if (baselines.empty()) {
+        std::cerr << "bench_compare: no BENCH_*.json baselines in "
+                  << baseline_arg << "\n";
+        return 2;
+      }
+      bool all_ok = true;
+      for (const auto& baseline : baselines) {
+        const fs::path fresh = fresh_arg / baseline.filename();
+        if (!fs::exists(fresh)) {
+          std::cout << "FAIL  " << baseline.filename().string()
+                    << "  (no fresh report — did the bench crash?)\n";
+          all_ok = false;
+          continue;
+        }
+        if (!compare_pair(baseline, fresh, threshold)) all_ok = false;
+      }
+      return all_ok ? 0 : 1;
+    }
+    return compare_pair(baseline_arg, fresh_arg, threshold) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+}

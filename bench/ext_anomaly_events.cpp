@@ -5,11 +5,14 @@
 
 #include "bench_common.h"
 #include "forecast/anomaly.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 int main() {
   using namespace cellscope;
   using namespace cellscope::bench;
 
+  enable_json_report("ext_anomaly_events");
   banner("Extension: anomaly detection",
          "Precision/recall of the per-slot-of-week detector on injected "
          "events");
@@ -24,9 +27,12 @@ int main() {
   table.set_header({"event", "injected", "detected", "false alarms",
                     "recall", "precision"});
 
+  auto& registry = obs::MetricsRegistry::instance();
   for (const auto& [factor, label] :
        {std::pair{3.0, "flash crowd x3"}, std::pair{2.0, "surge x2"},
         std::pair{0.0, "outage (zero traffic)"}}) {
+    obs::StageSpan span("ext.anomaly_sweep", "ext", obs::LogLevel::kDebug);
+    span.annotate({"event", label});
     std::size_t injected = 0;
     std::size_t detected = 0;
     std::size_t false_alarms = 0;
@@ -58,6 +64,12 @@ int main() {
       }
       if (hit) ++detected;
     }
+
+    registry.counter("cellscope.ext.anomaly_injected").add(injected);
+    registry.counter("cellscope.ext.anomaly_detected").add(detected);
+    registry.counter("cellscope.ext.anomaly_false_alarms").add(false_alarms);
+    span.annotate({"injected", injected});
+    span.annotate({"detected", detected});
 
     const double recall =
         injected ? static_cast<double>(detected) / injected : 0.0;

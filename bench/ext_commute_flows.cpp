@@ -7,12 +7,15 @@
 
 #include "analysis/commute_flows.h"
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "traffic/mobility_trace.h"
 
 int main() {
   using namespace cellscope;
   using namespace cellscope::bench;
 
+  enable_json_report("ext_commute_flows");
   banner("Extension: commute flows",
          "Per-user region transitions vs the Fig. 15b phase ordering");
   const auto& e = experiment();
@@ -20,12 +23,21 @@ int main() {
   MobilityOptions mobility_options;
   mobility_options.n_users = 600;
   mobility_options.seed = bench_seed() * 3 + 1;
-  const auto mobility = MobilityModel::create(e.towers(), mobility_options);
-  MobilityTraceOptions trace_options;
-  trace_options.day_begin = 0;
-  trace_options.day_end = 5;
-  const auto logs =
-      generate_mobility_trace(e.towers(), mobility, trace_options);
+  std::vector<TrafficLog> logs;
+  {
+    obs::StageSpan trace_span("ext.mobility_trace", "ext",
+                              obs::LogLevel::kDebug);
+    const auto mobility = MobilityModel::create(e.towers(), mobility_options);
+    MobilityTraceOptions trace_options;
+    trace_options.day_begin = 0;
+    trace_options.day_end = 5;
+    logs = generate_mobility_trace(e.towers(), mobility, trace_options);
+    obs::MetricsRegistry::instance()
+        .counter("cellscope.ext.commute_session_logs")
+        .add(logs.size());
+    trace_span.annotate({"users", mobility_options.n_users});
+    trace_span.annotate({"logs", logs.size()});
+  }
   std::cout << logs.size() << " session logs from "
             << mobility_options.n_users << " users over one work week\n\n";
 

@@ -11,11 +11,14 @@
 #include "forecast/pattern_forecaster.h"
 #include "forecast/seasonal_naive.h"
 #include "forecast/spectral_forecaster.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 int main() {
   using namespace cellscope;
   using namespace cellscope::bench;
 
+  enable_json_report("ext_forecast_accuracy");
   banner("Extension: forecasting",
          "Week-4 forecast accuracy per method (trained on weeks 1-3)");
   const auto& e = experiment();
@@ -38,27 +41,34 @@ int main() {
 
   const std::size_t sample =
       std::min<std::size_t>(e.matrix().n(), 300);  // keep runtime bounded
-  for (std::size_t row = 0; row < sample; ++row) {
-    const auto& series = e.matrix().rows[row];
-    const std::span<const double> history(series.data(), train);
-    const std::span<const double> actual(series.data() + train, test);
+  obs::MetricsRegistry::instance()
+      .counter("cellscope.ext.forecast_rows")
+      .add(sample);
+  {
+    obs::StageSpan span("ext.forecast_sweep", "ext", obs::LogLevel::kDebug);
+    span.annotate({"towers", sample});
+    for (std::size_t row = 0; row < sample; ++row) {
+      const auto& series = e.matrix().rows[row];
+      const std::span<const double> history(series.data(), train);
+      const std::span<const double> actual(series.data() + train, test);
 
-    const auto naive = seasonal_naive_forecast(history, test);
-    const auto spectral = spectral_forecast(history, test);
-    // Cold start: only the first day observed.
-    const std::span<const double> one_day(series.data(),
-                                          TimeGrid::kSlotsPerDay);
-    auto pattern = pattern_forecaster.forecast(
-        one_day, train + test - TimeGrid::kSlotsPerDay);
-    const std::vector<double> pattern_week(pattern.end() - static_cast<long>(test),
-                                           pattern.end());
+      const auto naive = seasonal_naive_forecast(history, test);
+      const auto spectral = spectral_forecast(history, test);
+      // Cold start: only the first day observed.
+      const std::span<const double> one_day(series.data(),
+                                            TimeGrid::kSlotsPerDay);
+      auto pattern = pattern_forecaster.forecast(
+          one_day, train + test - TimeGrid::kSlotsPerDay);
+      const std::vector<double> pattern_week(pattern.end() - static_cast<long>(test),
+                                             pattern.end());
 
-    naive_tally.smape_total += smape(actual, naive);
-    naive_tally.skill_total += mae_skill_vs_mean(actual, naive);
-    spectral_tally.smape_total += smape(actual, spectral);
-    spectral_tally.skill_total += mae_skill_vs_mean(actual, spectral);
-    pattern_tally.smape_total += smape(actual, pattern_week);
-    pattern_tally.skill_total += mae_skill_vs_mean(actual, pattern_week);
+      naive_tally.smape_total += smape(actual, naive);
+      naive_tally.skill_total += mae_skill_vs_mean(actual, naive);
+      spectral_tally.smape_total += smape(actual, spectral);
+      spectral_tally.skill_total += mae_skill_vs_mean(actual, spectral);
+      pattern_tally.smape_total += smape(actual, pattern_week);
+      pattern_tally.skill_total += mae_skill_vs_mean(actual, pattern_week);
+    }
   }
 
   const double n = static_cast<double>(sample);

@@ -5,23 +5,32 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 int main() {
   using namespace cellscope;
   using namespace cellscope::bench;
 
+  enable_json_report("ext_noise_robustness");
   banner("Extension: noise robustness",
          "Cluster count and label accuracy vs per-slot noise level");
 
+  auto& runs = obs::MetricsRegistry::instance().counter(
+      "cellscope.ext.noise_runs");
   TextTable table("identifier output vs IntensityOptions::noise_cv");
   table.set_header({"noise cv", "clusters found", "label accuracy",
                     "DBI at chosen cut"});
   for (const double noise : {0.05, 0.10, 0.12, 0.15, 0.18, 0.25, 0.40}) {
+    obs::StageSpan span("ext.noise_run", "ext", obs::LogLevel::kDebug);
+    span.annotate({"noise_cv", noise});
     ExperimentConfig config;
     config.n_towers = 400;
     config.seed = bench_seed();
     config.intensity.noise_cv = noise;
     const auto e = Experiment::run(config);
+    runs.add(1);
+    span.annotate({"clusters", e.n_clusters()});
     table.add_row({format_double(noise, 2),
                    std::to_string(e.n_clusters()),
                    format_double(100.0 * e.validation().accuracy, 1) + "%",

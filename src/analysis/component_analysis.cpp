@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/quality.h"
 
 namespace cellscope {
 
@@ -85,6 +87,24 @@ Decomposition decompose_feature(
   Decomposition d;
   for (int i = 0; i < 4; ++i) d.coefficients[i] = solution.coefficients[i];
   d.residual = std::sqrt(solution.objective);
+
+  // Sentinel: the weights must lie on the probability simplex — the §5.3
+  // convex-combination invariant. Feasible solves only bump a counter;
+  // an infeasible one (solver bug or poisoned features) records a fail
+  // verdict so run reports surface it.
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("cellscope.analysis.decompositions").add(1);
+  const auto feasible = obs::check_simplex_weights(solution.coefficients);
+  if (!feasible.passed) {
+    registry.counter("cellscope.analysis.simplex_violations").add(1);
+    obs::QualityBoard::instance().record(
+        {.check = "simplex_feasible",
+         .stage = "analysis.decompose",
+         .severity = obs::Severity::kFail,
+         .passed = false,
+         .value = feasible.value,
+         .detail = feasible.detail});
+  }
   return d;
 }
 

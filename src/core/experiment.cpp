@@ -2,10 +2,31 @@
 
 #include "analysis/poi_features.h"
 #include "common/error.h"
+#include "dsp/spectrum.h"
 #include "ml/distance.h"
 #include "obs/log.h"
+#include "obs/quality.h"
+#include "obs/report.h"
 #include "obs/timer.h"
 #include "pipeline/vectorizer.h"
+
+namespace {
+
+/// Fraction of signal energy the paper's three principal components
+/// retain on the mean z-scored series (the aggregate weekly pattern) —
+/// the quantity behind the §5.1 "<6 % loss" claim.
+double principal_energy_fraction(
+    const std::vector<std::vector<double>>& zscored) {
+  if (zscored.empty() || zscored.front().empty()) return 0.0;
+  std::vector<double> mean(zscored.front().size(), 0.0);
+  for (const auto& row : zscored)
+    for (std::size_t s = 0; s < row.size(); ++s) mean[s] += row[s];
+  for (auto& v : mean) v /= static_cast<double>(zscored.size());
+  const cellscope::Spectrum spectrum(mean);
+  return 1.0 - cellscope::energy_loss(mean, spectrum.reconstruct_principal());
+}
+
+}  // namespace
 
 namespace cellscope {
 
@@ -19,6 +40,18 @@ Experiment Experiment::run(const ExperimentConfig& config) {
                 {{"towers", config.n_towers},
                  {"seed", config.seed},
                  {"fold_weekly", config.fold_weekly}});
+  // With CELLSCOPE_RUN_REPORT set, a provenance report (config, stage
+  // spans, metrics, quality verdicts) is written at process exit; arming
+  // before the first stage turns span recording on for the whole run.
+  obs::arm_run_report(
+      "experiment",
+      {{"towers", std::to_string(config.n_towers)},
+       {"seed", std::to_string(config.seed)},
+       {"fold_weekly", config.fold_weekly ? "true" : "false"},
+       {"k_min", std::to_string(config.k_min)},
+       {"k_max", std::to_string(config.k_max)},
+       {"min_cluster_fraction", std::to_string(config.min_cluster_fraction)},
+       {"poi_scale", std::to_string(config.poi_scale)}});
   obs::ScopedTimer total_timer;
 
   Experiment e;
@@ -57,6 +90,9 @@ Experiment Experiment::run(const ExperimentConfig& config) {
     obs::StageSpan span("pipeline.vectorize");
     e.matrix_ = vectorize_intensity(e.towers_, *e.intensity_,
                                     config.seed ^ 0x94D049BB133111EBULL);
+    obs::QualityBoard::instance().add_check(
+        "pipeline.vectorize", "matrix_finite", obs::Severity::kFail,
+        [&rows = e.matrix_.rows] { return obs::check_finite_rows(rows); });
     span.annotate({"towers", e.towers_.size()});
     span.annotate({"rows", e.matrix_.n()});
   }
@@ -65,6 +101,9 @@ Experiment Experiment::run(const ExperimentConfig& config) {
   {
     obs::StageSpan span("pipeline.zscore");
     e.zscored_ = zscore_rows(e.matrix_);
+    obs::QualityBoard::instance().add_check(
+        "pipeline.zscore", "zscore_normalized", obs::Severity::kFail,
+        [&rows = e.zscored_] { return obs::check_zscore_rows(rows); });
     span.annotate({"rows", e.zscored_.size()});
   }
 
@@ -89,6 +128,21 @@ Experiment Experiment::run(const ExperimentConfig& config) {
                          min_cluster_size);
     e.chosen_ = best_cut(e.sweep_);
     e.labels_ = e.dendrogram_->cut_k(e.chosen_.k);
+    auto& board = obs::QualityBoard::instance();
+    board.add_check("pipeline.cluster_tune", "cluster_min_population",
+                    obs::Severity::kWarn,
+                    [&labels = e.labels_, min_cluster_size] {
+                      return obs::check_min_population(labels,
+                                                       min_cluster_size);
+                    });
+    board.add_check("pipeline.cluster_tune", "dbi_sane",
+                    obs::Severity::kFail,
+                    [dbi = e.chosen_.dbi] { return obs::check_dbi(dbi); });
+    board.add_check("pipeline.cluster_tune", "dft_energy_principal",
+                    obs::Severity::kWarn, [&zscored = e.zscored_] {
+                      return obs::check_energy_fraction(
+                          principal_energy_fraction(zscored));
+                    });
     span.annotate({"towers", e.towers_.size()});
     span.annotate({"k", e.chosen_.k});
   }

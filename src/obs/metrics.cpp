@@ -65,6 +65,29 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return counts;
 }
 
+double Histogram::quantile(double q) const {
+  CS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile needs q in [0, 1]");
+  const auto counts = bucket_counts();  // one consistent snapshot
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto below = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double lower = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+      const double fraction =
+          (rank - static_cast<double>(below)) / static_cast<double>(counts[i]);
+      return lower + (bounds_[i] - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+  }
+  // Rank lands in the overflow bucket: no upper bound to interpolate to.
+  return bounds_.back();
+}
+
 void Histogram::reset() noexcept {
   for (std::size_t i = 0; i <= bounds_.size(); ++i)
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -169,7 +192,11 @@ std::string MetricsRegistry::snapshot_json() const {
     first = false;
     json += '"' + json_escape(name) + "\":{\"count\":" +
             std::to_string(h->count()) +
-            ",\"sum\":" + format_json_double(h->sum()) + ",\"buckets\":[";
+            ",\"sum\":" + format_json_double(h->sum()) +
+            ",\"p50\":" + format_json_double(h->quantile(0.50)) +
+            ",\"p90\":" + format_json_double(h->quantile(0.90)) +
+            ",\"p99\":" + format_json_double(h->quantile(0.99)) +
+            ",\"buckets\":[";
     const auto& bounds = h->upper_bounds();
     const auto counts = h->bucket_counts();
     for (std::size_t i = 0; i < bounds.size(); ++i) {

@@ -42,7 +42,12 @@ class Gauge {
     update_max(value);
   }
   void add(std::int64_t delta) noexcept {
-    update_max(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+    // High-watermark from the post-add level: fetch_add returns the prior
+    // value, so prior + delta is exactly the level this add produced —
+    // no re-read of value_, which another thread may have moved on.
+    const std::int64_t post =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    update_max(post);
   }
   std::int64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
@@ -86,6 +91,14 @@ class Histogram {
   const std::vector<double>& upper_bounds() const { return bounds_; }
   /// Per-bucket counts; the final entry is the overflow bucket.
   std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket where the cumulative count crosses q·count — the
+  /// Prometheus histogram_quantile estimator. The first bucket
+  /// interpolates from min(0, bound); ranks landing in the overflow
+  /// bucket clamp to the largest bound. Returns 0 on an empty histogram.
+  double quantile(double q) const;
+
   void reset() noexcept;
 
  private:

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace cellscope {
 
 std::vector<TrafficLog> clean_logs(std::vector<TrafficLog> logs,
@@ -13,6 +16,7 @@ std::vector<TrafficLog> clean_logs(std::vector<TrafficLog> logs,
 std::vector<TrafficLog> clean_logs(std::vector<TrafficLog> logs,
                                    const CleanerOptions& options,
                                    CleanStats* stats) {
+  obs::StageSpan span("pipeline.clean", "pipeline", obs::LogLevel::kDebug);
   CleanStats local;
   local.input_records = logs.size();
 
@@ -59,6 +63,24 @@ std::vector<TrafficLog> clean_logs(std::vector<TrafficLog> logs,
   }
 
   local.output_records = out.size();
+
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("cellscope.pipeline.cleaner_input")
+      .add(local.input_records);
+  registry.counter("cellscope.pipeline.cleaner_malformed")
+      .add(local.malformed_dropped);
+  registry.counter("cellscope.pipeline.cleaner_duplicates")
+      .add(local.duplicates_removed);
+  registry.counter("cellscope.pipeline.cleaner_conflicts")
+      .add(local.conflicts_resolved);
+  registry.counter("cellscope.pipeline.cleaner_output")
+      .add(local.output_records);
+  span.annotate({"input", local.input_records});
+  span.annotate({"malformed", local.malformed_dropped});
+  span.annotate({"duplicates", local.duplicates_removed});
+  span.annotate({"conflicts", local.conflicts_resolved});
+  span.annotate({"output", local.output_records});
+
   if (stats) *stats = local;
   return out;
 }

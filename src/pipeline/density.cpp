@@ -3,6 +3,8 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace cellscope {
 
@@ -13,10 +15,12 @@ DensityGrid traffic_density(const std::vector<Tower>& towers,
                             std::size_t cols) {
   CS_CHECK_MSG(slot_begin < slot_end && slot_end <= TimeGrid::kSlots,
                "invalid slot range");
+  obs::StageSpan span("pipeline.density", "pipeline", obs::LogLevel::kDebug);
   std::unordered_map<std::uint32_t, const Tower*> tower_of;
   for (const auto& t : towers) tower_of.emplace(t.id, &t);
 
   DensityGrid grid(box, rows, cols);
+  double total_bytes = 0.0;
   for (std::size_t r = 0; r < matrix.n(); ++r) {
     const auto it = tower_of.find(matrix.tower_ids[r]);
     CS_CHECK_MSG(it != tower_of.end(), "matrix row without tower metadata");
@@ -24,7 +28,14 @@ DensityGrid traffic_density(const std::vector<Tower>& towers,
     for (std::size_t s = slot_begin; s < slot_end; ++s)
       bytes += matrix.rows[r][s];
     grid.add(it->second->position, bytes);
+    total_bytes += bytes;
   }
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("cellscope.pipeline.density_rows").add(matrix.n());
+  registry.counter("cellscope.pipeline.density_grids").add(1);
+  span.annotate({"rows", matrix.n()});
+  span.annotate({"slots", slot_end - slot_begin});
+  span.annotate({"bytes", total_bytes});
   return grid;
 }
 

@@ -85,6 +85,76 @@ TEST(Histogram, ConcurrentObservationsSumExactly) {
   EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kObservations);
 }
 
+TEST(Gauge, ConcurrentAddsKeepWatermarkAtLeastPeakSum) {
+  // The watermark must be computed from the post-add value returned by
+  // fetch_add, not from a separate load — with N adders and no removals
+  // the final max must equal the exact total, regardless of interleaving.
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kAdds; ++i) g.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  constexpr std::int64_t kTotal =
+      static_cast<std::int64_t>(kThreads) * kAdds;
+  EXPECT_EQ(g.value(), kTotal);
+  EXPECT_EQ(g.max_value(), kTotal);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);    // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) h.observe(15.0);   // bucket (10, 20]
+  // p50 = rank 10 of 20 -> exactly the upper edge of the first bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 10.0);
+  // p75 = rank 15 -> halfway through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  // p100 -> the upper edge of the last occupied bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);  // no observations
+
+  Histogram overflow_only({1.0, 2.0});
+  overflow_only.observe(100.0);
+  // Everything past the last bound clamps to the last bound: the
+  // histogram cannot resolve values beyond its range.
+  EXPECT_DOUBLE_EQ(overflow_only.quantile(0.99), 2.0);
+
+  Histogram h({1.0, 2.0});
+  h.observe(1.5);
+  EXPECT_THROW(h.quantile(-0.1), Error);
+  EXPECT_THROW(h.quantile(1.1), Error);
+}
+
+TEST(Histogram, QuantileMatchesUniformFill) {
+  // 100 observations spread evenly across (0, 100] in one bucket per
+  // decade: percentile estimates should land on the decade boundaries.
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.90), 90.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIncludesPercentiles) {
+  auto& registry = MetricsRegistry::instance();
+  auto& h = registry.histogram("test.snapshot.pctl", {1.0, 10.0});
+  h.observe(0.5);
+  const auto json = registry.snapshot_json();
+  const auto at = json.find("\"test.snapshot.pctl\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json.find("\"p50\":", at), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":", at), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":", at), std::string::npos);
+}
+
 TEST(Histogram, RejectsUnsortedBounds) {
   EXPECT_THROW(Histogram({2.0, 1.0}), Error);
   EXPECT_THROW(Histogram({1.0, 1.0}), Error);
