@@ -60,9 +60,16 @@ std::string format_s(double seconds) {
   return buf;
 }
 
-/// Compares one baseline/fresh pair; returns true when within budget.
-bool compare_pair(const fs::path& baseline_path, const fs::path& fresh_path,
-                  double threshold) {
+/// One baseline/fresh comparison, for the gate and the summary table.
+struct PairResult {
+  bool ok = true;
+  double base_wall = 0.0;
+  double fresh_wall = 0.0;
+};
+
+/// Compares one baseline/fresh pair; `.ok` is false on regression.
+PairResult compare_pair(const fs::path& baseline_path,
+                        const fs::path& fresh_path, double threshold) {
   const JsonValue baseline = load_report(baseline_path);
   const JsonValue fresh = load_report(fresh_path);
 
@@ -71,7 +78,7 @@ bool compare_pair(const fs::path& baseline_path, const fs::path& fresh_path,
   if (base_wall <= 0.0) {
     std::cout << "SKIP  " << baseline_path.filename().string()
               << "  (baseline wall_s <= 0)\n";
-    return true;
+    return {true, base_wall, fresh_wall};
   }
   const double ratio = fresh_wall / base_wall - 1.0;
   const bool ok = ratio <= threshold;
@@ -96,7 +103,31 @@ bool compare_pair(const fs::path& baseline_path, const fs::path& fresh_path,
   for (std::size_t i = 0; i < std::min<std::size_t>(3, movers.size()); ++i)
     std::cout << "        stage " << movers[i].second << "  "
               << format_pct(movers[i].first) << "\n";
-  return ok;
+  return {ok, base_wall, fresh_wall};
+}
+
+/// Summary table: wall time and speedup vs baseline, one row per bench
+/// (speedup > 1.00x = fresh is faster).
+void print_speedup_table(
+    const std::vector<std::pair<std::string, PairResult>>& results) {
+  std::size_t width = 5;
+  for (const auto& [name, result] : results)
+    width = std::max(width, name.size());
+  std::cout << "\nspeedup vs baseline:\n";
+  std::printf("  %-*s  %9s  %9s  %8s\n", static_cast<int>(width), "bench",
+              "baseline", "fresh", "speedup");
+  for (const auto& [name, result] : results) {
+    if (result.base_wall <= 0.0 || result.fresh_wall <= 0.0) {
+      std::printf("  %-*s  %9s  %9s  %8s\n", static_cast<int>(width),
+                  name.c_str(), format_s(result.base_wall).c_str(),
+                  format_s(result.fresh_wall).c_str(), "n/a");
+      continue;
+    }
+    std::printf("  %-*s  %9s  %9s  %7.2fx\n", static_cast<int>(width),
+                name.c_str(), format_s(result.base_wall).c_str(),
+                format_s(result.fresh_wall).c_str(),
+                result.base_wall / result.fresh_wall);
+  }
 }
 
 }  // namespace
@@ -140,19 +171,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       bool all_ok = true;
+      std::vector<std::pair<std::string, PairResult>> results;
       for (const auto& baseline : baselines) {
         const fs::path fresh = fresh_arg / baseline.filename();
+        // "BENCH_foo.json" -> "foo" for the summary table.
+        std::string name = baseline.filename().string();
+        name = name.substr(6, name.size() - 6 - 5);
         if (!fs::exists(fresh)) {
           std::cout << "FAIL  " << baseline.filename().string()
                     << "  (no fresh report — did the bench crash?)\n";
           all_ok = false;
+          results.emplace_back(name, PairResult{false, 0.0, 0.0});
           continue;
         }
-        if (!compare_pair(baseline, fresh, threshold)) all_ok = false;
+        const PairResult result = compare_pair(baseline, fresh, threshold);
+        if (!result.ok) all_ok = false;
+        results.emplace_back(name, result);
       }
+      print_speedup_table(results);
       return all_ok ? 0 : 1;
     }
-    return compare_pair(baseline_arg, fresh_arg, threshold) ? 0 : 1;
+    return compare_pair(baseline_arg, fresh_arg, threshold).ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "bench_compare: " << e.what() << "\n";
     return 2;

@@ -1,0 +1,60 @@
+// Perf: the blocked pairwise-distance kernel in isolation.
+//
+// DistanceMatrix::compute is the O(n²·dim) hot kernel of the analytics
+// core (DESIGN.md §8). This bench times it kernel-only — synthetic points,
+// no pipeline — across worker counts: Threads=0 is the serial reference
+// path, Threads=1/2/4/8 run the same tile kernel through a ThreadPool, so
+// the 0→1 delta is the pool overhead and 1→N the scaling. Rows are sized
+// like the mean-week clustering representation (1008 dims).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "mapred/thread_pool.h"
+#include "ml/distance.h"
+
+namespace {
+
+using namespace cellscope;
+
+constexpr std::size_t kDim = 1008;  // mean-week fold length
+
+const std::vector<std::vector<double>>& kernel_points() {
+  static const std::vector<std::vector<double>> points = [] {
+    const std::size_t n = bench::bench_towers();
+    Rng rng(bench::bench_seed());
+    std::vector<std::vector<double>> p(n, std::vector<double>(kDim));
+    for (auto& row : p)
+      for (auto& v : row) v = rng.normal();
+    return p;
+  }();
+  return points;
+}
+
+void BM_DistanceKernel(benchmark::State& state) {
+  const auto& points = kernel_points();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    auto d = DistanceMatrix::compute(points, pool.get());
+    benchmark::DoNotOptimize(d);
+  }
+  const auto n = points.size();
+  state.SetItemsProcessed(static_cast<std::int64_t>(n * (n - 1) / 2) *
+                          state.iterations());
+}
+BENCHMARK(BM_DistanceKernel)
+    ->Arg(0)  // serial reference (no pool)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CELLSCOPE_BENCH_JSON("perf_distance");

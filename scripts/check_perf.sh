@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Perf-regression gate: run the five perf_* benches in quick mode, emit
+# Perf-regression gate: run the six perf_* benches in quick mode, emit
 # fresh BENCH_*.json run reports, and diff them against the committed
-# baselines in bench/baselines/ with build/bench/bench_compare.
+# baselines in bench/baselines/ with build/bench/bench_compare. The
+# summary ends with a per-bench speedup-vs-baseline table.
 #
 # Usage:
 #   scripts/check_perf.sh             # gate: exit 1 on >15% wall-time regression
@@ -19,7 +20,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${CELLSCOPE_BUILD_DIR:-${repo_root}/build}"
 baseline_dir="${repo_root}/bench/baselines"
 threshold="${CELLSCOPE_PERF_THRESHOLD:-0.15}"
-benches=(perf_fft perf_clustering perf_mapred perf_qp perf_pipeline)
+benches=(perf_fft perf_clustering perf_distance perf_mapred perf_qp perf_pipeline)
 
 update=0
 if [[ "${1:-}" == "--update" ]]; then

@@ -1,12 +1,29 @@
 #include "analysis/freq_features.h"
 
 #include <cmath>
+#include <functional>
 
 #include "common/error.h"
 #include "common/stats.h"
 #include "common/time_grid.h"
+#include "mapred/thread_pool.h"
 
 namespace cellscope {
+
+namespace {
+
+/// fn(i) for every row — pooled when available, serial otherwise. Rows
+/// are independent, so both paths produce identical output.
+void for_each_row(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && pool->thread_count() > 1 && n > 1) {
+    pool->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
 
 FreqFeatures compute_freq_features(std::span<const double> zscored_series) {
   CS_CHECK_MSG(zscored_series.size() == TimeGrid::kSlots,
@@ -23,28 +40,31 @@ FreqFeatures compute_freq_features(std::span<const double> zscored_series) {
 }
 
 std::vector<FreqFeatures> compute_freq_features(
-    const std::vector<std::vector<double>>& zscored_rows) {
-  std::vector<FreqFeatures> out;
-  out.reserve(zscored_rows.size());
-  for (const auto& row : zscored_rows)
-    out.push_back(compute_freq_features(row));
+    const std::vector<std::vector<double>>& zscored_rows, ThreadPool* pool) {
+  std::vector<FreqFeatures> out(zscored_rows.size());
+  for_each_row(pool, zscored_rows.size(), [&](std::size_t i) {
+    out[i] = compute_freq_features(zscored_rows[i]);
+  });
   return out;
 }
 
 std::vector<double> amplitude_variance_spectrum(
-    const std::vector<std::vector<double>>& zscored_rows, std::size_t max_k) {
+    const std::vector<std::vector<double>>& zscored_rows, std::size_t max_k,
+    ThreadPool* pool) {
   CS_CHECK_MSG(!zscored_rows.empty(), "need at least one row");
   CS_CHECK_MSG(max_k < TimeGrid::kSlots, "max_k out of range");
   const std::size_t n = zscored_rows.size();
   std::vector<std::vector<double>> amp_by_k(
       max_k + 1, std::vector<double>(n, 0.0));
-  for (std::size_t i = 0; i < n; ++i) {
+  // Each worker owns column i across every frequency row — disjoint slots.
+  for_each_row(pool, n, [&](std::size_t i) {
     const Spectrum spectrum(zscored_rows[i]);
     for (std::size_t k = 0; k <= max_k; ++k)
       amp_by_k[k][i] = spectrum.normalized_amplitude(k);
-  }
+  });
   std::vector<double> var(max_k + 1, 0.0);
-  for (std::size_t k = 0; k <= max_k; ++k) var[k] = variance(amp_by_k[k]);
+  for_each_row(pool, max_k + 1,
+               [&](std::size_t k) { var[k] = variance(amp_by_k[k]); });
   return var;
 }
 

@@ -15,6 +15,8 @@
 
 namespace cellscope {
 
+class ThreadPool;
+
 /// Amplitude/phase of the three principal components of one tower.
 struct FreqFeatures {
   double amp_week = 0.0;    ///< A4  — normalized amplitude at k=4
@@ -33,15 +35,19 @@ struct FreqFeatures {
 /// Extracts the features of one z-scored traffic series.
 FreqFeatures compute_freq_features(std::span<const double> zscored_series);
 
-/// Batch extraction for all rows.
+/// Batch extraction for all rows. Rows are independent, so a pool
+/// parallelizes the per-tower spectra with bit-identical output.
 std::vector<FreqFeatures> compute_freq_features(
-    const std::vector<std::vector<double>>& zscored_rows);
+    const std::vector<std::vector<double>>& zscored_rows,
+    ThreadPool* pool = nullptr);
 
 /// Per-frequency variance of normalized DFT amplitude across towers — the
 /// Fig. 13 series. `max_k` limits the frequency range (the paper plots
-/// k <= 100).
+/// k <= 100). Per-tower spectra are pooled when a pool is given;
+/// output is bit-identical either way.
 std::vector<double> amplitude_variance_spectrum(
-    const std::vector<std::vector<double>>& zscored_rows, std::size_t max_k);
+    const std::vector<std::vector<double>>& zscored_rows, std::size_t max_k,
+    ThreadPool* pool = nullptr);
 
 /// Circular mean of phases (vector averaging; phases near ±π average
 /// correctly, unlike the arithmetic mean).

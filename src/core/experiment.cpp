@@ -3,6 +3,7 @@
 #include "analysis/poi_features.h"
 #include "common/error.h"
 #include "dsp/spectrum.h"
+#include "mapred/thread_pool.h"
 #include "ml/distance.h"
 #include "obs/log.h"
 #include "obs/quality.h"
@@ -36,10 +37,16 @@ Experiment Experiment::run(const ExperimentConfig& config) {
   CS_CHECK_MSG(config.k_min >= 2 && config.k_min <= config.k_max,
                "invalid DBI sweep bounds");
 
+  // Every post-vectorizer analytics stage shares one pool, sized by the
+  // CELLSCOPE_THREADS environment variable (DESIGN.md §8). Results are
+  // bit-identical for any worker count.
+  ThreadPool pool(configured_thread_count());
+
   obs::log_info("experiment.start",
                 {{"towers", config.n_towers},
                  {"seed", config.seed},
-                 {"fold_weekly", config.fold_weekly}});
+                 {"fold_weekly", config.fold_weekly},
+                 {"threads", pool.thread_count()}});
   // With CELLSCOPE_RUN_REPORT set, a provenance report (config, stage
   // spans, metrics, quality verdicts) is written at process exit; arming
   // before the first stage turns span recording on for the whole run.
@@ -100,7 +107,7 @@ Experiment Experiment::run(const ExperimentConfig& config) {
   // 4. Normalization.
   {
     obs::StageSpan span("pipeline.zscore");
-    e.zscored_ = zscore_rows(e.matrix_);
+    e.zscored_ = zscore_rows(e.matrix_, &pool);
     obs::QualityBoard::instance().add_check(
         "pipeline.zscore", "zscore_normalized", obs::Severity::kFail,
         [&rows = e.zscored_] { return obs::check_zscore_rows(rows); });
@@ -115,17 +122,17 @@ Experiment Experiment::run(const ExperimentConfig& config) {
     std::vector<std::vector<double>> folded_storage;
     const std::vector<std::vector<double>>* cluster_input = &e.zscored_;
     if (config.fold_weekly) {
-      folded_storage = fold_to_week(e.zscored_);
+      folded_storage = fold_to_week(e.zscored_, &pool);
       cluster_input = &folded_storage;
     }
     e.dendrogram_ = std::make_unique<Dendrogram>(Dendrogram::run(
-        DistanceMatrix::compute(*cluster_input), Linkage::kAverage));
+        DistanceMatrix::compute(*cluster_input, &pool), Linkage::kAverage));
     const auto min_cluster_size = static_cast<std::size_t>(
         std::max(2.0, config.min_cluster_fraction *
                           static_cast<double>(config.n_towers)));
     e.sweep_ = dbi_sweep(*e.dendrogram_, *cluster_input, config.k_min,
                          std::min(config.k_max, config.n_towers - 1),
-                         min_cluster_size);
+                         min_cluster_size, &pool);
     e.chosen_ = best_cut(e.sweep_);
     e.labels_ = e.dendrogram_->cut_k(e.chosen_.k);
     auto& board = obs::QualityBoard::instance();
@@ -218,8 +225,10 @@ std::vector<double> Experiment::total_aggregate() const {
 }
 
 const std::vector<FreqFeatures>& Experiment::freq_features() const {
-  if (!freq_features_)
-    freq_features_ = compute_freq_features(zscored_);
+  if (!freq_features_) {
+    ThreadPool pool(configured_thread_count());
+    freq_features_ = compute_freq_features(zscored_, &pool);
+  }
   return *freq_features_;
 }
 

@@ -1,6 +1,7 @@
 #include "mapred/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -120,6 +121,17 @@ ThreadPoolStats ThreadPool::stats() const {
 std::size_t default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return std::max<std::size_t>(2, hw);
+}
+
+std::size_t configured_thread_count() {
+  const char* env = std::getenv("CELLSCOPE_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 1)
+      return static_cast<std::size_t>(parsed);
+  }
+  return default_thread_count();
 }
 
 }  // namespace cellscope

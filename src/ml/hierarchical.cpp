@@ -69,12 +69,29 @@ Dendrogram Dendrogram::run(DistanceMatrix distances, Linkage linkage) {
   chain.reserve(n);
   std::size_t remaining = n;
 
+  // The hottest loop of the clustering: scan row i of the condensed
+  // triangle directly. Entries (j, i) for j < i sit at decreasing strides
+  // (n-j-2 apart); entries (i, j) for j > i are contiguous. Scan order is
+  // ascending j either way, so ties resolve exactly as a naive 0..n scan.
   auto nearest_active = [&](std::size_t i) -> std::size_t {
+    const float* cond = distances.data();
     double best = std::numeric_limits<double>::infinity();
     std::size_t best_j = n;  // sentinel
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i || !active[j]) continue;
-      const double d = distances(i, j);
+    std::size_t idx = i - 1;  // condensed index of (0, i); unused when i == 0
+    for (std::size_t j = 0; j < i; ++j) {
+      if (active[j]) {
+        const double d = cond[idx];
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
+      }
+      idx += n - j - 2;
+    }
+    const float* row = cond + i * n - i * (i + 1) / 2;  // row[j - i - 1]
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!active[j]) continue;
+      const double d = row[j - i - 1];
       if (d < best) {
         best = d;
         best_j = j;
@@ -170,16 +187,21 @@ std::vector<int> Dendrogram::cut_k(std::size_t k) const {
   return labels_after(n_ - k);
 }
 
+std::size_t Dendrogram::merges_within(double threshold) const {
+  // merges_ is sorted by distance, so the number of merges at or below the
+  // threshold is a binary search, not a linear scan.
+  const auto it = std::upper_bound(
+      merges_.begin(), merges_.end(), threshold,
+      [](double t, const Merge& m) { return t < m.distance; });
+  return static_cast<std::size_t>(it - merges_.begin());
+}
+
 std::vector<int> Dendrogram::cut_threshold(double threshold) const {
-  std::size_t m = 0;
-  while (m < merges_.size() && merges_[m].distance <= threshold) ++m;
-  return labels_after(m);
+  return labels_after(merges_within(threshold));
 }
 
 std::size_t Dendrogram::cluster_count_at(double threshold) const {
-  std::size_t m = 0;
-  while (m < merges_.size() && merges_[m].distance <= threshold) ++m;
-  return n_ - m;
+  return n_ - merges_within(threshold);
 }
 
 std::size_t num_clusters(const std::vector<int>& labels) {

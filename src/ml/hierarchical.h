@@ -64,6 +64,10 @@ class Dendrogram {
   /// Labels after applying the first `m` merges (in sorted order).
   std::vector<int> labels_after(std::size_t m) const;
 
+  /// Number of merges with distance <= threshold (binary search over the
+  /// sorted merge list).
+  std::size_t merges_within(double threshold) const;
+
   std::size_t n_;
   std::vector<Merge> merges_;
 };

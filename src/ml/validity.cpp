@@ -2,15 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <iterator>
 #include <limits>
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "mapred/thread_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 
 namespace cellscope {
+
+namespace {
+
+/// fn(i) for i in [0, n) — on the pool when one is available, inline
+/// otherwise. Callers keep per-index work independent, so both paths
+/// produce identical results.
+void run_indexed(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && pool->thread_count() > 1 && n > 1) {
+    pool->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
 
 std::vector<std::vector<double>> cluster_centroids(
     const std::vector<std::vector<double>>& points,
@@ -100,6 +119,38 @@ double silhouette(const std::vector<std::vector<double>>& points,
   return total / static_cast<double>(points.size());
 }
 
+double silhouette(const DistanceMatrix& distances,
+                  const std::vector<int>& labels) {
+  CS_CHECK_MSG(distances.n() == labels.size() && labels.size() >= 2,
+               "distance matrix and labels must match, n >= 2");
+  const std::size_t k = num_clusters(labels);
+  CS_CHECK_MSG(k >= 2, "silhouette requires at least two clusters");
+  const auto members = cluster_members(labels);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto own = static_cast<std::size_t>(labels[i]);
+    if (members[own].size() == 1) continue;  // s(i) = 0 for singletons
+    double a = 0.0;
+    for (const std::size_t j : members[own]) {
+      if (j == i) continue;
+      a += distances(i, j);
+    }
+    a /= static_cast<double>(members[own].size() - 1);
+
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own) continue;
+      double mean_d = 0.0;
+      for (const std::size_t j : members[c]) mean_d += distances(i, j);
+      mean_d /= static_cast<double>(members[c].size());
+      b = std::min(b, mean_d);
+    }
+    total += (b - a) / std::max(a, b);
+  }
+  return total / static_cast<double>(labels.size());
+}
+
 double calinski_harabasz(const std::vector<std::vector<double>>& points,
                          const std::vector<int>& labels) {
   const auto centroids = cluster_centroids(points, labels);
@@ -134,32 +185,118 @@ double calinski_harabasz(const std::vector<std::vector<double>>& points,
 std::vector<DbiSweepPoint> dbi_sweep(
     const Dendrogram& dendrogram,
     const std::vector<std::vector<double>>& points, std::size_t k_min,
-    std::size_t k_max, std::size_t min_cluster_size) {
+    std::size_t k_max, std::size_t min_cluster_size, ThreadPool* pool) {
   CS_CHECK_MSG(2 <= k_min && k_min <= k_max && k_max <= dendrogram.n(),
                "sweep bounds must satisfy 2 <= k_min <= k_max <= n");
   CS_CHECK_MSG(points.size() == dendrogram.n(),
                "points must match the dendrogram");
+  const std::size_t n = dendrogram.n();
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points)
+    CS_CHECK_MSG(p.size() == dim, "inconsistent point dimension");
   auto& registry = obs::MetricsRegistry::instance();
   obs::ScopedTimer sweep_timer(
       registry.histogram("cellscope.ml.dbi_sweep_ms"));
   auto& per_k_histogram = registry.histogram("cellscope.ml.dbi_k_ms");
   auto& cuts_evaluated = registry.counter("cellscope.ml.dbi_cuts_evaluated");
-  std::vector<DbiSweepPoint> sweep;
-  sweep.reserve(k_max - k_min + 1);
+
+  // One descending pass k_max -> k_min. Each merge is replayed exactly
+  // once; per-cluster member lists, coordinate sums, and scatter are
+  // carried across cuts, and only the cluster a merge touched is
+  // recomputed. All per-cluster accumulations run over members in
+  // ascending index order — the exact reduction order of
+  // cluster_centroids/davies_bouldin — so each sweep point matches the
+  // per-k recomputation it replaces.
+  struct Cluster {
+    std::vector<std::size_t> members;  // ascending; empty once absorbed
+    std::vector<double> sum;           // per-dimension member sum
+    double scatter_sum = 0.0;          // sum of member-centroid distances
+    bool dirty = true;
+  };
+  // Indexed by representative (smallest member) leaf — exactly the merge
+  // endpoints recorded by Dendrogram::run, so ascending-representative
+  // order is the dense label order of cut_k.
+  std::vector<Cluster> cluster(n);
+  for (std::size_t i = 0; i < n; ++i) cluster[i].members = {i};
+
   const auto& merges = dendrogram.merges();
-  for (std::size_t k = k_min; k <= k_max; ++k) {
+  auto apply_merge = [&cluster](const Merge& m) {
+    Cluster& into = cluster[m.a];
+    Cluster& from = cluster[m.b];
+    std::vector<std::size_t> merged;
+    merged.reserve(into.members.size() + from.members.size());
+    std::merge(into.members.begin(), into.members.end(), from.members.begin(),
+               from.members.end(), std::back_inserter(merged));
+    into.members = std::move(merged);
+    into.dirty = true;
+    from = Cluster{};
+    from.members.shrink_to_fit();
+  };
+
+  std::size_t applied = 0;
+  while (applied < n - k_max) apply_merge(merges[applied++]);
+
+  std::vector<DbiSweepPoint> sweep(k_max - k_min + 1);
+  for (std::size_t k = k_max;; --k) {
     obs::ScopedTimer k_timer(per_k_histogram);
+    std::vector<std::size_t> reps;
+    reps.reserve(k);
+    for (std::size_t i = 0; i < n; ++i)
+      if (!cluster[i].members.empty()) reps.push_back(i);
+    CS_CHECK_MSG(reps.size() == k, "merge replay out of sync");
+
+    // Per-cluster centroid and mean scatter; dirty clusters (touched by a
+    // merge since their last evaluation) are recomputed, the rest reuse
+    // their cached sums and scatter bit-for-bit.
+    std::vector<std::vector<double>> centroids(k);
+    std::vector<double> scatter(k, 0.0);
+    run_indexed(pool, k, [&](std::size_t c) {
+      Cluster& cl = cluster[reps[c]];
+      const auto count = static_cast<double>(cl.members.size());
+      if (cl.dirty) {
+        cl.sum.assign(dim, 0.0);
+        for (const std::size_t m : cl.members)
+          for (std::size_t d = 0; d < dim; ++d) cl.sum[d] += points[m][d];
+      }
+      auto& centroid = centroids[c];
+      centroid.resize(dim);
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] = cl.sum[d] / count;
+      if (cl.dirty) {
+        cl.scatter_sum = 0.0;
+        for (const std::size_t m : cl.members)
+          cl.scatter_sum += euclidean_distance(points[m], centroid);
+        cl.dirty = false;
+      }
+      scatter[c] = cl.scatter_sum / count;
+    });
+
+    // Pairwise-centroid step: rows in parallel, final sum in fixed order.
+    std::vector<double> worst(k, 0.0);
+    run_indexed(pool, k, [&](std::size_t i) {
+      double w = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (i == j) continue;
+        const double m = euclidean_distance(centroids[i], centroids[j]);
+        CS_CHECK_MSG(m > 0.0, "coincident centroids");
+        w = std::max(w, (scatter[i] + scatter[j]) / m);
+      }
+      worst[i] = w;
+    });
+    double dbi = 0.0;
+    for (std::size_t i = 0; i < k; ++i) dbi += worst[i];
+    dbi /= static_cast<double>(k);
+
     DbiSweepPoint point;
     point.k = k;
+    point.dbi = dbi;
     // After n-k merges there are k clusters; the next merge distance is
     // the largest threshold that still yields k clusters.
-    const std::size_t applied = dendrogram.n() - k;
-    point.threshold = applied < merges.size() ? merges[applied].distance
-                                              : merges.back().distance;
-    const auto labels = dendrogram.cut_k(k);
-    point.dbi = davies_bouldin(points, labels);
-    for (const auto& members : cluster_members(labels)) {
-      if (members.size() < min_cluster_size) {
+    const std::size_t applied_for_k = n - k;
+    point.threshold = applied_for_k < merges.size()
+                          ? merges[applied_for_k].distance
+                          : merges.back().distance;
+    for (const std::size_t r : reps) {
+      if (cluster[r].members.size() < min_cluster_size) {
         point.valid = false;
         break;
       }
@@ -169,7 +306,9 @@ std::vector<DbiSweepPoint> dbi_sweep(
                                      {"dbi", point.dbi},
                                      {"valid", point.valid},
                                      {"wall_ms", k_timer.elapsed_ms()}});
-    sweep.push_back(point);
+    sweep[k - k_min] = point;
+    if (k == k_min) break;
+    apply_merge(merges[applied++]);
   }
   return sweep;
 }

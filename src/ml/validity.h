@@ -13,6 +13,8 @@
 
 namespace cellscope {
 
+class ThreadPool;
+
 /// Per-cluster centroids of labeled points ([k][dim]).
 std::vector<std::vector<double>> cluster_centroids(
     const std::vector<std::vector<double>>& points,
@@ -27,6 +29,12 @@ double davies_bouldin(const std::vector<std::vector<double>>& points,
 
 /// Mean silhouette coefficient in [-1, 1] (higher is better); O(n²·dim).
 double silhouette(const std::vector<std::vector<double>>& points,
+                  const std::vector<int>& labels);
+
+/// Silhouette from a precomputed distance matrix — O(n²) lookups instead
+/// of O(n²·dim) Euclidean recomputation. Values differ from the pointwise
+/// overload only by the matrix's float rounding.
+double silhouette(const DistanceMatrix& distances,
                   const std::vector<int>& labels);
 
 /// Calinski-Harabasz index (higher is better).
@@ -50,10 +58,20 @@ struct DbiSweepPoint {
 /// the merge that would collapse k to k-1 clusters, i.e. the upper edge of
 /// stop thresholds that still yield k clusters (the paper reports 16.33
 /// for its optimal five-cluster cut).
+///
+/// One descending k_max→k_min pass replays each merge exactly once,
+/// carrying per-cluster member lists, coordinate sums, and scatter across
+/// cuts; only the cluster touched by a merge is recomputed. Per-cluster
+/// accumulations run over members in ascending index order — the same
+/// reduction order as davies_bouldin() — so every DbiSweepPoint matches a
+/// per-k cut_k + davies_bouldin recomputation. With a pool, the per-k
+/// cluster evaluations and the pairwise-centroid step run in parallel
+/// (bit-identical to the serial path; DESIGN.md §8).
 std::vector<DbiSweepPoint> dbi_sweep(
     const Dendrogram& dendrogram,
     const std::vector<std::vector<double>>& points, std::size_t k_min,
-    std::size_t k_max, std::size_t min_cluster_size = 1);
+    std::size_t k_max, std::size_t min_cluster_size = 1,
+    ThreadPool* pool = nullptr);
 
 /// The sweep entry with minimal DBI among valid cuts (falls back to all
 /// cuts when none is valid).

@@ -1,11 +1,28 @@
 #include "pipeline/traffic_matrix.h"
 
+#include <functional>
 #include <unordered_set>
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "mapred/thread_pool.h"
 
 namespace cellscope {
+
+namespace {
+
+/// fn(i) for every row — pooled when available, serial otherwise. Rows
+/// are independent, so both paths produce identical output.
+void for_each_row(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && pool->thread_count() > 1 && n > 1) {
+    pool->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
 
 std::size_t TrafficMatrix::row_of(std::uint32_t tower_id) const {
   for (std::size_t i = 0; i < tower_ids.size(); ++i)
@@ -25,26 +42,27 @@ void TrafficMatrix::check() const {
                  "every row must have 4032 slots");
 }
 
-std::vector<std::vector<double>> zscore_rows(const TrafficMatrix& matrix) {
-  std::vector<std::vector<double>> out;
-  out.reserve(matrix.n());
-  for (const auto& row : matrix.rows) out.push_back(zscore(row));
+std::vector<std::vector<double>> zscore_rows(const TrafficMatrix& matrix,
+                                             ThreadPool* pool) {
+  std::vector<std::vector<double>> out(matrix.n());
+  for_each_row(pool, matrix.n(),
+               [&](std::size_t i) { out[i] = zscore(matrix.rows[i]); });
   return out;
 }
 
 std::vector<std::vector<double>> fold_to_week(
-    const std::vector<std::vector<double>>& rows) {
-  std::vector<std::vector<double>> out;
-  out.reserve(rows.size());
-  for (const auto& row : rows) {
+    const std::vector<std::vector<double>>& rows, ThreadPool* pool) {
+  std::vector<std::vector<double>> out(rows.size());
+  for_each_row(pool, rows.size(), [&](std::size_t i) {
+    const auto& row = rows[i];
     CS_CHECK_MSG(row.size() == TimeGrid::kSlots,
                  "fold_to_week expects 4032-slot rows");
     std::vector<double> week(TimeGrid::kSlotsPerWeek, 0.0);
     for (std::size_t s = 0; s < row.size(); ++s)
       week[s % TimeGrid::kSlotsPerWeek] += row[s];
     for (auto& v : week) v /= TimeGrid::kWeeks;
-    out.push_back(std::move(week));
-  }
+    out[i] = std::move(week);
+  });
   return out;
 }
 

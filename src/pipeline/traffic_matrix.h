@@ -9,6 +9,8 @@
 
 namespace cellscope {
 
+class ThreadPool;
+
 /// Rows are towers, columns are 10-minute slots (raw bytes). The paper's
 /// Xj vectors (§3.2) are the z-scored rows.
 struct TrafficMatrix {
@@ -24,13 +26,16 @@ struct TrafficMatrix {
   void check() const;
 };
 
-/// Z-scores every row (the vectorizer's normalization phase).
-std::vector<std::vector<double>> zscore_rows(const TrafficMatrix& matrix);
+/// Z-scores every row (the vectorizer's normalization phase). Rows are
+/// independent, so a pool parallelizes them with bit-identical output.
+std::vector<std::vector<double>> zscore_rows(const TrafficMatrix& matrix,
+                                             ThreadPool* pool = nullptr);
 
 /// Folds each 4032-slot row to its mean week (1008 slots) — the optional
-/// dimensionality reduction for clustering (DESIGN.md §5.2).
+/// dimensionality reduction for clustering (DESIGN.md §5.2). Rows are
+/// independent, so a pool parallelizes them with bit-identical output.
 std::vector<std::vector<double>> fold_to_week(
-    const std::vector<std::vector<double>>& rows);
+    const std::vector<std::vector<double>>& rows, ThreadPool* pool = nullptr);
 
 /// Column-wise sum across rows (the city-aggregate series of Fig. 1/12).
 std::vector<double> aggregate_series(const TrafficMatrix& matrix);

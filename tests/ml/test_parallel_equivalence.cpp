@@ -1,0 +1,221 @@
+// Serial/parallel equivalence of the analytics core (DESIGN.md §8).
+//
+// The determinism contract: every pooled stage — the blocked distance
+// kernel, the incremental DBI sweep, the per-row z-score/fold loops, and
+// the per-tower spectra — produces BIT-IDENTICAL output for any worker
+// count, because tiles/rows partition the output and every reduction runs
+// in a fixed order. These tests pin that contract with exact comparisons
+// (no tolerances), and check the incremental DBI sweep against a
+// brute-force per-k oracle. Built as its own binary (label: par) so the
+// CELLSCOPE_SANITIZE=thread build can run it in isolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/freq_features.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time_grid.h"
+#include "mapred/thread_pool.h"
+#include "ml/distance.h"
+#include "ml/hierarchical.h"
+#include "ml/validity.h"
+#include "pipeline/traffic_matrix.h"
+
+namespace cellscope {
+namespace {
+
+std::vector<std::vector<double>> random_points(std::size_t n, std::size_t dim,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points(n, std::vector<double>(dim));
+  for (auto& p : points)
+    for (auto& v : p) v = rng.normal();
+  return points;
+}
+
+/// Clustered points so dendrogram cuts and DBI sweeps are non-trivial.
+std::vector<std::vector<double>> blob_points(std::size_t per_blob,
+                                             std::size_t dim,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  for (int blob = 0; blob < 4; ++blob) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      std::vector<double> p(dim);
+      for (auto& v : p) v = blob * 8.0 + rng.normal();
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+TEST(ParallelEquivalence, DistanceMatrixBitIdenticalAcrossThreadCounts) {
+  // Odd sizes so tiles and blocks straddle boundaries.
+  const auto points = random_points(157, 33, 1);
+  const auto serial = DistanceMatrix::compute(points);
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  const auto par1 = DistanceMatrix::compute(points, &pool1);
+  const auto par8 = DistanceMatrix::compute(points, &pool8);
+  ASSERT_EQ(serial.condensed().size(), par8.condensed().size());
+  EXPECT_EQ(serial.condensed(), par1.condensed());
+  EXPECT_EQ(serial.condensed(), par8.condensed());
+}
+
+TEST(ParallelEquivalence, DistanceKernelMatchesDirectEuclidean) {
+  // The |a|²+|b|²−2a·b kernel agrees with the direct definition to float
+  // precision.
+  const auto points = random_points(40, 17, 2);
+  ThreadPool pool(4);
+  const auto matrix = DistanceMatrix::compute(points, &pool);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t j = i + 1; j < points.size(); ++j)
+      EXPECT_NEAR(matrix(i, j), euclidean_distance(points[i], points[j]),
+                  1e-4);
+}
+
+TEST(ParallelEquivalence, DendrogramMergesIdenticalAcrossThreadCounts) {
+  const auto points = blob_points(30, 24, 3);
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  const auto serial =
+      Dendrogram::run(DistanceMatrix::compute(points), Linkage::kAverage);
+  const auto par1 = Dendrogram::run(DistanceMatrix::compute(points, &pool1),
+                                    Linkage::kAverage);
+  const auto par8 = Dendrogram::run(DistanceMatrix::compute(points, &pool8),
+                                    Linkage::kAverage);
+  ASSERT_EQ(serial.merges().size(), par8.merges().size());
+  for (std::size_t m = 0; m < serial.merges().size(); ++m) {
+    EXPECT_EQ(serial.merges()[m].a, par1.merges()[m].a);
+    EXPECT_EQ(serial.merges()[m].b, par1.merges()[m].b);
+    EXPECT_EQ(serial.merges()[m].distance, par1.merges()[m].distance);
+    EXPECT_EQ(serial.merges()[m].a, par8.merges()[m].a);
+    EXPECT_EQ(serial.merges()[m].b, par8.merges()[m].b);
+    EXPECT_EQ(serial.merges()[m].distance, par8.merges()[m].distance);
+  }
+}
+
+TEST(ParallelEquivalence, DbiSweepBitIdenticalAcrossThreadCounts) {
+  const auto points = blob_points(25, 16, 4);
+  const auto dendrogram =
+      Dendrogram::run(DistanceMatrix::compute(points), Linkage::kAverage);
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  const auto serial = dbi_sweep(dendrogram, points, 2, 12, 2);
+  const auto par1 = dbi_sweep(dendrogram, points, 2, 12, 2, &pool1);
+  const auto par8 = dbi_sweep(dendrogram, points, 2, 12, 2, &pool8);
+  ASSERT_EQ(serial.size(), par8.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].k, par8[i].k);
+    EXPECT_EQ(serial[i].dbi, par1[i].dbi);
+    EXPECT_EQ(serial[i].dbi, par8[i].dbi);
+    EXPECT_EQ(serial[i].threshold, par8[i].threshold);
+    EXPECT_EQ(serial[i].valid, par8[i].valid);
+  }
+}
+
+TEST(ParallelEquivalence, DbiSweepMatchesBruteForcePerKOracle) {
+  // The incremental sweep against the implementation it replaced: one
+  // cut_k + davies_bouldin recomputation per k.
+  const auto points = blob_points(25, 16, 5);
+  const std::size_t k_min = 2;
+  const std::size_t k_max = 14;
+  const std::size_t min_cluster_size = 3;
+  const auto dendrogram =
+      Dendrogram::run(DistanceMatrix::compute(points), Linkage::kAverage);
+  const auto sweep =
+      dbi_sweep(dendrogram, points, k_min, k_max, min_cluster_size);
+  ASSERT_EQ(sweep.size(), k_max - k_min + 1);
+  const auto& merges = dendrogram.merges();
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    const auto& point = sweep[k - k_min];
+    EXPECT_EQ(point.k, k);
+    const auto labels = dendrogram.cut_k(k);
+    EXPECT_DOUBLE_EQ(point.dbi, davies_bouldin(points, labels));
+    const std::size_t applied = dendrogram.n() - k;
+    EXPECT_EQ(point.threshold, applied < merges.size()
+                                   ? merges[applied].distance
+                                   : merges.back().distance);
+    bool valid = true;
+    for (const auto& members : cluster_members(labels))
+      if (members.size() < min_cluster_size) valid = false;
+    EXPECT_EQ(point.valid, valid);
+  }
+}
+
+TEST(ParallelEquivalence, ZscoreAndFoldBitIdenticalAcrossThreadCounts) {
+  Rng rng(6);
+  TrafficMatrix matrix;
+  for (std::size_t i = 0; i < 37; ++i) {
+    matrix.tower_ids.push_back(static_cast<std::uint32_t>(i));
+    std::vector<double> row(TimeGrid::kSlots);
+    for (auto& v : row) v = 100.0 + 50.0 * rng.normal();
+    matrix.rows.push_back(std::move(row));
+  }
+  ThreadPool pool8(8);
+  const auto serial_z = zscore_rows(matrix);
+  const auto par_z = zscore_rows(matrix, &pool8);
+  EXPECT_EQ(serial_z, par_z);
+  const auto serial_fold = fold_to_week(serial_z);
+  const auto par_fold = fold_to_week(serial_z, &pool8);
+  EXPECT_EQ(serial_fold, par_fold);
+}
+
+TEST(ParallelEquivalence, FreqFeaturesBitIdenticalAcrossThreadCounts) {
+  Rng rng(7);
+  std::vector<std::vector<double>> rows(23,
+                                        std::vector<double>(TimeGrid::kSlots));
+  for (auto& row : rows)
+    for (auto& v : row) v = rng.normal();
+  ThreadPool pool8(8);
+  const auto serial = compute_freq_features(rows);
+  const auto par = compute_freq_features(rows, &pool8);
+  ASSERT_EQ(serial.size(), par.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].amp_week, par[i].amp_week);
+    EXPECT_EQ(serial[i].phase_week, par[i].phase_week);
+    EXPECT_EQ(serial[i].amp_day, par[i].amp_day);
+    EXPECT_EQ(serial[i].phase_day, par[i].phase_day);
+    EXPECT_EQ(serial[i].amp_half_day, par[i].amp_half_day);
+    EXPECT_EQ(serial[i].phase_half_day, par[i].phase_half_day);
+  }
+  const auto serial_var = amplitude_variance_spectrum(rows, 100);
+  const auto par_var = amplitude_variance_spectrum(rows, 100, &pool8);
+  EXPECT_EQ(serial_var, par_var);
+}
+
+TEST(ParallelEquivalence, SilhouetteOverloadReusesDistanceMatrix) {
+  const auto points = blob_points(20, 12, 8);
+  const auto dendrogram =
+      Dendrogram::run(DistanceMatrix::compute(points), Linkage::kAverage);
+  const auto labels = dendrogram.cut_k(4);
+  const auto distances = DistanceMatrix::compute(points);
+  // Agreement limited only by the matrix's float storage.
+  EXPECT_NEAR(silhouette(distances, labels), silhouette(points, labels),
+              1e-4);
+}
+
+TEST(ParallelEquivalence, ThresholdCutsMatchLinearScan) {
+  const auto points = blob_points(15, 8, 9);
+  const auto dendrogram =
+      Dendrogram::run(DistanceMatrix::compute(points), Linkage::kAverage);
+  const auto& merges = dendrogram.merges();
+  // Probe below, at, between, and above every merge distance.
+  std::vector<double> thresholds = {-1.0, 0.0, 1e18};
+  for (const auto& m : merges) {
+    thresholds.push_back(m.distance);
+    thresholds.push_back(std::nextafter(m.distance, 0.0));
+    thresholds.push_back(std::nextafter(m.distance, 1e300));
+  }
+  for (const double t : thresholds) {
+    std::size_t m = 0;
+    while (m < merges.size() && merges[m].distance <= t) ++m;
+    EXPECT_EQ(dendrogram.cluster_count_at(t), dendrogram.n() - m);
+    EXPECT_EQ(num_clusters(dendrogram.cut_threshold(t)), dendrogram.n() - m);
+  }
+}
+
+}  // namespace
+}  // namespace cellscope
