@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf-regression gate: run the six perf_* benches in quick mode, emit
+# Perf-regression gate: run the perf_* benches in quick mode, emit
 # fresh BENCH_*.json run reports, and diff them against the committed
 # baselines in bench/baselines/ with build/bench/bench_compare. The
 # summary ends with a per-bench speedup-vs-baseline table.
@@ -20,7 +20,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${CELLSCOPE_BUILD_DIR:-${repo_root}/build}"
 baseline_dir="${repo_root}/bench/baselines"
 threshold="${CELLSCOPE_PERF_THRESHOLD:-0.15}"
-benches=(perf_fft perf_clustering perf_distance perf_mapred perf_qp perf_pipeline)
+benches=(perf_fft perf_clustering perf_distance perf_mapred perf_qp perf_pipeline perf_stream)
 
 update=0
 if [[ "${1:-}" == "--update" ]]; then

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Streaming race check: configure a ThreadSanitizer build in build-tsan/,
+# build the stream test suite, and run `ctest -L stream` under it. The
+# sharded ingestor's lock striping, the bounded thread-pool queue, and the
+# classify-all pass are the intended targets (DESIGN.md §9); any data race
+# fails the run.
+#
+# Usage:
+#   scripts/check_stream.sh            # configure (once), build, run
+#   CELLSCOPE_TSAN_BUILD_DIR=... scripts/check_stream.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${CELLSCOPE_TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
+
+# Configure every run: a no-op on a warm cache, and it picks up new
+# targets after CMakeLists changes.
+cmake -B "${build_dir}" -S "${repo_root}" -DCELLSCOPE_SANITIZE=thread
+
+cmake --build "${build_dir}" -j --target test_stream --target test_obs
+
+echo "check_stream: running ctest -L stream under ThreadSanitizer"
+ctest --test-dir "${build_dir}" -L stream --output-on-failure

@@ -17,8 +17,15 @@ PatternForecaster::PatternForecaster(
                  "templates must cover one 1008-slot week");
 }
 
+std::size_t PatternForecaster::match_or_prior(std::span<const double> history,
+                                              std::size_t prior) const {
+  CS_CHECK_MSG(prior < templates_.size(), "prior template out of range");
+  if (history.size() < kMinMatchSlots) return prior;
+  return match(history);
+}
+
 std::size_t PatternForecaster::match(std::span<const double> history) const {
-  CS_CHECK_MSG(history.size() >= 72,
+  CS_CHECK_MSG(history.size() >= kMinMatchSlots,
                "matching needs at least half a day of history");
   // Compare shapes: z-score the history and the template restricted to
   // the same slots-of-week.

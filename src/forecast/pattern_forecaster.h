@@ -19,13 +19,28 @@ namespace cellscope {
 /// typically the labeled cluster centroids of an Experiment.
 class PatternForecaster {
  public:
+  /// Minimum history for shape matching: half a day (72 slots). Below
+  /// this, a z-scored shape comparison is meaningless and callers fall
+  /// back to a prior (match_or_prior).
+  static constexpr std::size_t kMinMatchSlots = 72;
+
   /// `templates` must be non-empty, each of 1008 slots.
   explicit PatternForecaster(std::vector<std::vector<double>> templates);
 
   /// Index of the template best matching a (partial) history. The match
   /// compares z-scored shapes over the slots the history covers, so a
-  /// single day is enough to pick a template.
+  /// single day is enough to pick a template. Requires at least
+  /// kMinMatchSlots of history.
   std::size_t match(std::span<const double> history) const;
+
+  /// Cold-start-safe matching: match(history) when the history reaches
+  /// kMinMatchSlots, otherwise the caller-supplied `prior` template
+  /// (typically the most populous training cluster). Never produces NaN:
+  /// constant or all-zero histories z-score to zero vectors and still
+  /// compare finitely. Shared by the stream OnlineClassifier for towers
+  /// with under a day of observations (DESIGN.md §9).
+  std::size_t match_or_prior(std::span<const double> history,
+                             std::size_t prior) const;
 
   /// Forecasts `horizon` slots following `history`: the matched template
   /// de-normalized with the history's mean and standard deviation.

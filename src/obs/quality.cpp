@@ -306,4 +306,18 @@ CheckResult check_simplex_weights(std::span<const double> weights,
   return result;
 }
 
+CheckResult check_reject_ratio(std::size_t rejected, std::size_t total,
+                               double max_fraction) {
+  const double ratio =
+      total == 0 ? 0.0
+                 : static_cast<double>(rejected) / static_cast<double>(total);
+  CheckResult result;
+  result.passed = ratio <= max_fraction;
+  result.value = ratio;
+  result.detail = std::to_string(rejected) + " of " + std::to_string(total) +
+                  " rejected (ratio " + format_value(ratio) + ", max " +
+                  format_value(max_fraction) + ")";
+  return result;
+}
+
 }  // namespace cellscope::obs

@@ -148,4 +148,10 @@ CheckResult check_energy_fraction(double retained_fraction,
 CheckResult check_simplex_weights(std::span<const double> weights,
                                   double tolerance = 1e-6);
 
+/// At most `max_fraction` of `total` items were rejected (malformed trace
+/// lines, dropped stream records, ...). A zero total passes trivially.
+/// value = the reject ratio.
+CheckResult check_reject_ratio(std::size_t rejected, std::size_t total,
+                               double max_fraction = 0.01);
+
 }  // namespace cellscope::obs

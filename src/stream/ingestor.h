@@ -1,0 +1,175 @@
+// Sharded streaming ingest front-end — the online counterpart of the
+// batch vectorizer (§3.2), fed record-by-record instead of file-at-once.
+//
+// Producers call offer()/offer_batch() from any thread; records route to
+// per-shard lock-striped pending queues by tower id (a tower's window
+// lives in exactly one shard, so window application never takes a
+// cross-shard lock). drain() moves pending records into the per-tower
+// TowerWindow accumulators on the shared mapred::ThreadPool, using
+// try_submit so a saturated pool degrades to inline draining (caller-runs
+// backpressure) instead of growing queues without bound. A full shard
+// queue drops the record and says so — explicit drop accounting, never
+// silent loss or unbounded memory.
+//
+// Determinism: within a shard, records apply in arrival order; across
+// shards, windows are disjoint and bin updates are exact integer sums, so
+// the final per-tower grids are bit-identical for any shard count and any
+// arrival-order perturbation of the same record set (the stream-vs-batch
+// equivalence contract, DESIGN.md §9; verified by ctest -L stream).
+//
+// Metrics: cellscope.stream.{records_offered, records_accepted,
+// records_dropped, records_late, records_stale, drain_batches} counters,
+// cellscope.stream.pending_records gauge, cellscope.stream.drain_ms
+// histogram.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "city/tower.h"
+#include "mapred/thread_pool.h"
+#include "stream/tower_window.h"
+#include "traffic/trace_record.h"
+
+namespace cellscope {
+
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
+/// Ingest configuration. from_env() reads the operational knobs.
+struct StreamConfig {
+  /// Number of lock stripes / window partitions (>= 1).
+  std::size_t n_shards = 4;
+  /// Per-shard pending-queue capacity; offers beyond it are dropped and
+  /// counted. 0 means unbounded (replay/test convenience).
+  std::size_t queue_capacity = 65536;
+  /// A record whose start_minute trails the watermark (largest end_minute
+  /// seen) by more than this is counted late. Late records still apply —
+  /// the ring keeps four weeks — the counter feeds the lateness sentinel.
+  std::uint32_t max_lateness_minutes = 120;
+
+  /// Reads CELLSCOPE_STREAM_SHARDS and CELLSCOPE_STREAM_QUEUE (positive
+  /// integers) over the defaults above.
+  static StreamConfig from_env();
+};
+
+/// Outcome of offering one record.
+enum class OfferResult {
+  kAccepted,  ///< queued for the next drain
+  kDropped,   ///< shard queue full — dropped and counted
+};
+
+/// Lifetime ingest counters (monotone; survive checkpoint/restore).
+struct IngestStats {
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped = 0;  ///< rejected by a full shard queue
+  std::uint64_t late = 0;     ///< accepted but behind the lateness bound
+  std::uint64_t stale = 0;    ///< applied-but-rejected by the ring (too old)
+  std::uint64_t watermark_minute = 0;  ///< largest end_minute seen
+};
+
+/// Sharded, lock-striped streaming ingestor over per-tower windows.
+class StreamIngestor {
+ public:
+  explicit StreamIngestor(StreamConfig config = {});
+
+  /// Pre-creates an empty window per tower so silent towers still appear
+  /// in folded_vectors()/classify_all() (as cold-start rows).
+  void register_towers(const std::vector<Tower>& towers);
+
+  /// Routes one record to its shard queue. Thread-safe.
+  OfferResult offer(const TrafficLog& log);
+
+  /// Routes a batch, grouping by shard first so each stripe is locked
+  /// once per call instead of once per record. Returns how many records
+  /// were accepted. Thread-safe.
+  std::size_t offer_batch(std::span<const TrafficLog> logs);
+
+  /// Drains every shard's pending queue into its windows, one pool task
+  /// per shard via try_submit (rejected shards drain inline on the
+  /// caller — backpressure). Blocks until every queued record at entry
+  /// has been applied. Thread-safe; concurrent drains serialize per
+  /// shard.
+  void drain(ThreadPool& pool);
+
+  /// Records queued but not yet applied, summed over shards.
+  std::size_t pending() const;
+
+  IngestStats stats() const;
+  const StreamConfig& config() const { return config_; }
+
+  /// Tower ids with a window, ascending.
+  std::vector<std::uint32_t> tower_ids() const;
+
+  /// Copy of one tower's window (under its shard lock); throws
+  /// InvalidArgument when the tower has none.
+  TowerWindow window_copy(std::uint32_t tower_id) const;
+
+  /// (tower id, folded z-scored mean week) for every window, ascending by
+  /// id — the streaming equivalent of the batch
+  /// fold_to_week(zscore_rows(vectorize_logs(...))) chain, bit-identical
+  /// on the same records. Rows are independent; a pool parallelizes them.
+  std::vector<std::pair<std::uint32_t, std::vector<double>>> folded_vectors(
+      ThreadPool* pool = nullptr) const;
+
+  /// Checkpointing access (stream/snapshot.h): full window states in
+  /// ascending tower-id order, and their wholesale restoration. Restoring
+  /// re-routes windows by id, so the restored ingestor may use a
+  /// different shard count than the one that wrote the checkpoint.
+  std::vector<std::pair<std::uint32_t, TowerWindow::State>> export_windows()
+      const;
+  void import_window(std::uint32_t tower_id, const TowerWindow::State& state);
+  void restore_stats(const IngestStats& stats);
+
+  StreamIngestor(const StreamIngestor&) = delete;
+  StreamIngestor& operator=(const StreamIngestor&) = delete;
+
+ private:
+  struct Shard {
+    mutable std::mutex queue_mutex;      // guards pending
+    std::vector<TrafficLog> pending;
+    mutable std::mutex window_mutex;     // guards windows + application
+    std::vector<std::pair<std::uint32_t, TowerWindow>> windows;  // sorted
+  };
+
+  Shard& shard_of(std::uint32_t tower_id) const {
+    return *shards_[tower_id % shards_.size()];
+  }
+  /// The tower's window within `shard`, created on first use. Caller
+  /// holds shard.window_mutex.
+  TowerWindow& window_in(Shard& shard, std::uint32_t tower_id);
+  void drain_shard(Shard& shard);
+  /// Watermark/lateness accounting shared by offer paths; returns true
+  /// when the record is late.
+  bool account_arrival(const TrafficLog& log);
+
+  StreamConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> watermark_minute_{0};
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> late_{0};
+  std::atomic<std::uint64_t> stale_{0};
+
+  // Process-global metrics (registered once, hot-path cached).
+  obs::Counter* metric_offered_;
+  obs::Counter* metric_accepted_;
+  obs::Counter* metric_dropped_;
+  obs::Counter* metric_late_;
+  obs::Counter* metric_stale_;
+  obs::Counter* metric_drains_;
+  obs::Gauge* metric_pending_;
+  obs::Histogram* metric_drain_ms_;
+};
+
+}  // namespace cellscope

@@ -1,0 +1,137 @@
+#include "stream/online_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/component_analysis.h"
+#include "common/error.h"
+#include "common/stats.h"
+#include "core/experiment.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "pipeline/traffic_matrix.h"
+
+namespace cellscope {
+
+ModelSnapshot snapshot_model(const Experiment& experiment) {
+  ModelSnapshot model;
+  const auto& labels = experiment.labels();
+  const std::size_t k = experiment.n_clusters();
+
+  // Centroids: per-cluster means of the folded z-scored rows — the same
+  // representation the dendrogram clustered when fold_weekly is on.
+  const auto folded = fold_to_week(experiment.zscored());
+  model.centroids.assign(
+      k, std::vector<double>(TimeGrid::kSlotsPerWeek, 0.0));
+  model.populations.assign(k, 0);
+  for (std::size_t i = 0; i < folded.size(); ++i) {
+    const auto c = static_cast<std::size_t>(labels[i]);
+    ++model.populations[c];
+    for (std::size_t s = 0; s < folded[i].size(); ++s)
+      model.centroids[c][s] += folded[i][s];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    CS_CHECK_MSG(model.populations[c] > 0, "empty cluster in experiment");
+    for (auto& v : model.centroids[c])
+      v /= static_cast<double>(model.populations[c]);
+  }
+  model.regions = experiment.labeling().region_of_cluster;
+  CS_CHECK_MSG(model.regions.size() == k,
+               "labeling does not cover every cluster");
+
+  // Primary components need all four pure regions; smaller experiments
+  // may label fewer, and the classifier then works without them.
+  bool all_pure = true;
+  for (int r = 0; r < 4; ++r)
+    all_pure = all_pure &&
+               experiment.cluster_of_region(static_cast<FunctionalRegion>(r))
+                   .has_value();
+  if (all_pure) {
+    const auto& reps = experiment.representatives();
+    const auto& features = experiment.freq_features();
+    for (int r = 0; r < 4; ++r)
+      model.primary_features[r] = features[reps[r]].qp_feature();
+    model.has_primaries = true;
+  }
+  return model;
+}
+
+OnlineClassifier::OnlineClassifier(ModelSnapshot model)
+    : model_(std::move(model)), forecaster_(model_.centroids) {
+  CS_CHECK_MSG(!model_.centroids.empty(), "model needs at least one cluster");
+  CS_CHECK_MSG(model_.regions.size() == model_.centroids.size() &&
+                   model_.populations.size() == model_.centroids.size(),
+               "model arrays must align with the centroids");
+  prior_ = static_cast<std::size_t>(
+      std::max_element(model_.populations.begin(), model_.populations.end()) -
+      model_.populations.begin());
+}
+
+Classification OnlineClassifier::classify(const TowerWindow& window) const {
+  Classification out;
+  if (window.observed_slots() < kColdStartSlots) {
+    // Cold start: match the short observed history against the centroid
+    // templates (the batch forecaster's shape match), or take the prior
+    // outright when even that is too thin.
+    out.cold_start = true;
+    out.cluster = forecaster_.match_or_prior(window.observed_history(),
+                                             prior_);
+    out.region = model_.regions[out.cluster];
+    out.distance =
+        squared_distance(window.folded_week(), model_.centroids[out.cluster]);
+    out.confidence = 0.0;
+    return out;
+  }
+
+  const auto zscored = window.zscored();
+  const auto folded = fold_to_week({zscored}).front();
+  double best = squared_distance(folded, model_.centroids[0]);
+  std::size_t best_cluster = 0;
+  for (std::size_t c = 1; c < model_.centroids.size(); ++c) {
+    const double d = squared_distance(folded, model_.centroids[c]);
+    if (d < best) {
+      best = d;
+      best_cluster = c;
+    }
+  }
+  out.cluster = best_cluster;
+  out.region = model_.regions[best_cluster];
+  out.distance = best;
+  if (model_.has_primaries) {
+    const auto feature = compute_freq_features(zscored).qp_feature();
+    const auto decomposition =
+        decompose_feature(feature, model_.primary_features);
+    out.confidence = 1.0 / (1.0 + decomposition.residual);
+  } else {
+    out.confidence = 1.0 / (1.0 + std::sqrt(best));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, Classification>>
+OnlineClassifier::classify_all(const StreamIngestor& ingestor,
+                               ThreadPool* pool) const {
+  obs::StageSpan span("stream.classify", "stream", obs::LogLevel::kDebug);
+  const auto ids = ingestor.tower_ids();
+  std::vector<std::pair<std::uint32_t, Classification>> out(ids.size());
+  const auto classify_one = [&](std::size_t i) {
+    out[i] = {ids[i], classify(ingestor.window_copy(ids[i]))};
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && ids.size() > 1) {
+    pool->parallel_for(ids.size(), classify_one);
+  } else {
+    for (std::size_t i = 0; i < ids.size(); ++i) classify_one(i);
+  }
+  std::size_t cold = 0;
+  for (const auto& [id, c] : out)
+    if (c.cold_start) ++cold;
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("cellscope.stream.classify_passes").add(1);
+  registry.counter("cellscope.stream.classifications").add(out.size());
+  registry.counter("cellscope.stream.cold_starts").add(cold);
+  span.annotate({"towers", out.size()});
+  span.annotate({"cold_starts", cold});
+  return out;
+}
+
+}  // namespace cellscope

@@ -1,0 +1,124 @@
+#include "stream/replay.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "obs/quality.h"
+#include "obs/timer.h"
+
+namespace cellscope {
+
+std::vector<TrafficLog> perturb_arrival_order(std::vector<TrafficLog> logs,
+                                              const ReplayOptions& options) {
+  CS_CHECK_MSG(options.late_fraction >= 0.0 && options.late_fraction <= 1.0,
+               "late_fraction must lie in [0, 1]");
+  // Canonical arrival order: by start time, ties broken on the full
+  // record so the perturbation is independent of the input permutation.
+  std::sort(logs.begin(), logs.end(), [](const TrafficLog& a,
+                                         const TrafficLog& b) {
+    if (a.start_minute != b.start_minute) return a.start_minute < b.start_minute;
+    if (a.tower_id != b.tower_id) return a.tower_id < b.tower_id;
+    if (a.user_id != b.user_id) return a.user_id < b.user_id;
+    if (a.end_minute != b.end_minute) return a.end_minute < b.end_minute;
+    return a.bytes < b.bytes;
+  });
+
+  Rng rng(options.seed);
+  // Bounded local shuffle: each position swaps with a uniform earlier
+  // position at most skew_window back — records drift but never teleport.
+  if (options.skew_window > 0) {
+    for (std::size_t i = logs.size(); i > 1; --i) {
+      const std::size_t hi = i - 1;
+      const std::size_t lo =
+          hi > options.skew_window ? hi - options.skew_window : 0;
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(lo),
+                          static_cast<std::int64_t>(hi)));
+      std::swap(logs[hi], logs[j]);
+    }
+  }
+
+  // Late tail: a seeded sample of records is pulled out (preserving
+  // relative order) and appended after everything else.
+  if (options.late_fraction > 0.0) {
+    std::vector<TrafficLog> on_time;
+    std::vector<TrafficLog> late;
+    on_time.reserve(logs.size());
+    for (auto& log : logs) {
+      if (rng.uniform() < options.late_fraction)
+        late.push_back(std::move(log));
+      else
+        on_time.push_back(std::move(log));
+    }
+    on_time.insert(on_time.end(), std::make_move_iterator(late.begin()),
+                   std::make_move_iterator(late.end()));
+    logs = std::move(on_time);
+  }
+  return logs;
+}
+
+ReplayStats replay_trace(const std::vector<TrafficLog>& logs,
+                         StreamIngestor& ingestor, ThreadPool& pool,
+                         const ReplayOptions& options,
+                         const OnlineClassifier* classifier) {
+  CS_CHECK_MSG(options.batch_size >= 1, "batch_size must be positive");
+  ReplayStats stats;
+  stats.records = logs.size();
+
+  obs::ScopedTimer timer;
+  {
+    obs::StageSpan span("stream.replay", "stream");
+    for (std::size_t begin = 0; begin < logs.size();
+         begin += options.batch_size) {
+      const std::size_t end =
+          std::min(logs.size(), begin + options.batch_size);
+      ingestor.offer_batch(
+          std::span<const TrafficLog>(logs.data() + begin, end - begin));
+      ingestor.drain(pool);
+      ++stats.batches;
+      if (classifier != nullptr && options.classify_every_batches > 0 &&
+          stats.batches % options.classify_every_batches == 0) {
+        stats.labels = classifier->classify_all(ingestor, &pool);
+        ++stats.classify_passes;
+      }
+    }
+    if (classifier != nullptr) {
+      stats.labels = classifier->classify_all(ingestor, &pool);
+      ++stats.classify_passes;
+    }
+
+    // Dropped/late sentinels, evaluated when the stream.replay span
+    // closes (one-shot, like the batch pipeline's stage checks).
+    auto& board = obs::QualityBoard::instance();
+    const auto ingest = ingestor.stats();
+    board.add_check(
+        "stream.replay", "stream_drop_ratio", obs::Severity::kFail,
+        [dropped = ingest.dropped, offered = ingest.offered] {
+          return obs::check_reject_ratio(
+              static_cast<std::size_t>(dropped),
+              static_cast<std::size_t>(offered), 0.01);
+        });
+    board.add_check(
+        "stream.replay", "stream_late_ratio", obs::Severity::kWarn,
+        [late = ingest.late, offered = ingest.offered] {
+          return obs::check_reject_ratio(static_cast<std::size_t>(late),
+                                         static_cast<std::size_t>(offered),
+                                         0.25);
+        });
+    span.annotate({"records", stats.records});
+    span.annotate({"batches", stats.batches});
+    span.annotate({"dropped", ingest.dropped});
+    span.annotate({"late", ingest.late});
+  }
+
+  stats.ingest = ingestor.stats();
+  stats.wall_ms = timer.elapsed_ms();
+  stats.records_per_sec =
+      stats.wall_ms > 0.0
+          ? static_cast<double>(stats.records) / (stats.wall_ms / 1e3)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace cellscope

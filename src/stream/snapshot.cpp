@@ -1,0 +1,141 @@
+#include "stream/snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+#include <type_traits>
+
+#include "common/error.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "stream/ingestor.h"
+
+namespace cellscope {
+
+namespace {
+
+// Fixed-width little-endian scalar I/O. The project targets little-endian
+// hosts (x86-64 / arm64); a byte-swapping port would slot in here.
+
+template <typename T>
+void put(std::ofstream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T get(std::ifstream& in, const std::string& what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in)
+    throw IoError("snapshot truncated while reading " + what);
+  return value;
+}
+
+}  // namespace
+
+SnapshotInfo write_snapshot(const std::string& path,
+                            const StreamIngestor& ingestor) {
+  CS_CHECK_MSG(ingestor.pending() == 0,
+               "drain the ingestor before snapshotting — pending records "
+               "would be lost");
+  const auto windows = ingestor.export_windows();
+  const auto stats = ingestor.stats();
+
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open snapshot for writing: " + tmp);
+
+  put<std::uint32_t>(out, kSnapshotMagic);
+  put<std::uint32_t>(out, kSnapshotVersion);
+  put<std::uint64_t>(out, stats.watermark_minute);
+  put<std::uint64_t>(out, stats.offered);
+  put<std::uint64_t>(out, stats.accepted);
+  put<std::uint64_t>(out, stats.dropped);
+  put<std::uint64_t>(out, stats.late);
+  put<std::uint64_t>(out, stats.stale);
+  put<std::uint64_t>(out, windows.size());
+
+  SnapshotInfo info;
+  info.towers = windows.size();
+  for (const auto& [id, state] : windows) {
+    put<std::uint32_t>(out, id);
+    put<std::uint64_t>(out, state.bins.size());
+    put<double>(out, state.sumsq);
+    for (const auto& bin : state.bins) {
+      put<std::uint32_t>(out, bin.slot);
+      put<std::uint32_t>(out, bin.cycle);
+      put<std::uint64_t>(out, bin.bytes);
+    }
+    info.bins += state.bins.size();
+  }
+  out.close();
+  if (!out) throw IoError("failed writing snapshot: " + tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) throw IoError("failed renaming snapshot into place: " + path +
+                        " (" + ec.message() + ")");
+  info.bytes = std::filesystem::file_size(path, ec);
+
+  obs::MetricsRegistry::instance()
+      .counter("cellscope.stream.snapshots_written")
+      .add(1);
+  obs::log_info("stream.snapshot_written", {{"path", path},
+                                            {"towers", info.towers},
+                                            {"bins", info.bins},
+                                            {"bytes", info.bytes}});
+  return info;
+}
+
+void read_snapshot(const std::string& path, StreamIngestor& ingestor) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open snapshot: " + path);
+
+  const auto magic = get<std::uint32_t>(in, "magic");
+  CS_CHECK_MSG(magic == kSnapshotMagic,
+               "not a cellscope stream snapshot: " + path);
+  const auto version = get<std::uint32_t>(in, "version");
+  CS_CHECK_MSG(version == kSnapshotVersion,
+               "unsupported snapshot version " + std::to_string(version));
+
+  IngestStats stats;
+  stats.watermark_minute = get<std::uint64_t>(in, "watermark");
+  stats.offered = get<std::uint64_t>(in, "offered");
+  stats.accepted = get<std::uint64_t>(in, "accepted");
+  stats.dropped = get<std::uint64_t>(in, "dropped");
+  stats.late = get<std::uint64_t>(in, "late");
+  stats.stale = get<std::uint64_t>(in, "stale");
+  const auto n_windows = get<std::uint64_t>(in, "window count");
+
+  std::uint64_t bins_total = 0;
+  for (std::uint64_t w = 0; w < n_windows; ++w) {
+    const auto id = get<std::uint32_t>(in, "tower id");
+    const auto n_bins = get<std::uint64_t>(in, "bin count");
+    CS_CHECK_MSG(n_bins <= TimeGrid::kSlots,
+                 "snapshot window holds more bins than the grid");
+    TowerWindow::State state;
+    state.sumsq = get<double>(in, "sumsq");
+    state.bins.reserve(static_cast<std::size_t>(n_bins));
+    for (std::uint64_t b = 0; b < n_bins; ++b) {
+      TowerWindow::ObservedBin bin;
+      bin.slot = get<std::uint32_t>(in, "bin slot");
+      bin.cycle = get<std::uint32_t>(in, "bin cycle");
+      bin.bytes = get<std::uint64_t>(in, "bin bytes");
+      state.bins.push_back(bin);
+    }
+    ingestor.import_window(id, state);
+    bins_total += n_bins;
+  }
+  ingestor.restore_stats(stats);
+
+  obs::MetricsRegistry::instance()
+      .counter("cellscope.stream.snapshots_restored")
+      .add(1);
+  obs::log_info("stream.snapshot_restored",
+                {{"path", path},
+                 {"towers", n_windows},
+                 {"bins", bins_total},
+                 {"watermark_minute", stats.watermark_minute}});
+}
+
+}  // namespace cellscope

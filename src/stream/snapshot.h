@@ -1,0 +1,53 @@
+// Checkpoint/restore for the streaming ingestor.
+//
+// write_snapshot serializes the full in-flight state — every tower
+// window's observed bins (exact integer bytes + ring cycle), its running
+// second moment, the watermark, and the lifetime ingest counters — to a
+// versioned little-endian binary file. read_snapshot restores that state
+// into a freshly constructed ingestor, which may use a different shard
+// count (windows re-route by tower id); a restarted replay then finishes
+// with vectors and labels bit-identical to an uninterrupted run
+// (ctest -L stream pins this).
+//
+// Format (all integers little-endian, fixed width):
+//   u32 magic "CSSN"  u32 version
+//   u64 watermark  u64 offered  u64 accepted  u64 dropped  u64 late
+//   u64 stale  u64 n_windows
+//   per window: u32 tower_id  u64 n_bins  f64 sumsq
+//               then per bin: u32 slot  u32 cycle  u64 bytes
+// Truncated files, bad magic, and unknown versions throw; a snapshot is
+// written to <path>.tmp and atomically renamed so readers never observe
+// a half-written file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cellscope {
+
+class StreamIngestor;
+
+/// Snapshot file magic ("CSSN" little-endian) and current version.
+inline constexpr std::uint32_t kSnapshotMagic = 0x4E535343u;
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Bookkeeping returned by write_snapshot.
+struct SnapshotInfo {
+  std::size_t towers = 0;
+  std::uint64_t bins = 0;   ///< observed bins serialized
+  std::uint64_t bytes = 0;  ///< file size on disk
+};
+
+/// Serializes the ingestor's full state to `path`. Pending (offered but
+/// undrained) records are NOT part of a snapshot — drain first; the
+/// function throws when records are still pending, because silently
+/// dropping them would break the resume-bit-identical contract.
+SnapshotInfo write_snapshot(const std::string& path,
+                            const StreamIngestor& ingestor);
+
+/// Restores a snapshot into `ingestor` (freshly constructed; any shard
+/// count). Throws IoError on open/short-read failures and Error on bad
+/// magic/version or malformed window data.
+void read_snapshot(const std::string& path, StreamIngestor& ingestor);
+
+}  // namespace cellscope

@@ -16,10 +16,13 @@ namespace cellscope {
 void write_trace_csv(const std::string& path,
                      const std::vector<TrafficLog>& logs);
 
-/// Reads a trace CSV produced by write_trace_csv. Malformed rows are
-/// returned as-is where parseable and skipped when structurally broken
-/// (wrong column count / non-numeric ids) — cleaning is the pipeline's
-/// job, not the reader's.
+/// Reads a trace CSV produced by write_trace_csv. Malformed rows (wrong
+/// column count, non-numeric fields) and out-of-range rows (32-bit field
+/// overflow, end_minute < start_minute) are skipped — never fatal — and
+/// counted on cellscope.io.rejected_lines; every read records a
+/// "trace_reject_ratio" quality verdict that fails when more than 1% of
+/// lines were rejected. Semantic cleaning (duplicates, conflicts) remains
+/// the pipeline cleaner's job.
 std::vector<TrafficLog> read_trace_csv(const std::string& path);
 
 /// Total bytes across logs.

@@ -171,6 +171,56 @@ TEST(PatternForecaster, ColdStartBeatsMeanPredictorOnRealTowers) {
   EXPECT_LT(mae_skill_vs_mean(actual, forecast), 0.9);
 }
 
+TEST(PatternForecaster, MatchOrPriorSharesTheMatchPathWithEnoughHistory) {
+  std::vector<std::vector<double>> templates(2);
+  for (int s = 0; s < TimeGrid::kSlotsPerWeek; ++s) {
+    const double day_phase =
+        2.0 * M_PI * (s % TimeGrid::kSlotsPerDay) / TimeGrid::kSlotsPerDay;
+    templates[0].push_back(std::cos(day_phase));
+    templates[1].push_back(std::cos(day_phase - M_PI));
+  }
+  const PatternForecaster forecaster(templates);
+
+  // 100 slots (between half a day and a day): shape matching applies and
+  // agrees with match().
+  std::vector<double> history;
+  for (int s = 0; s < 100; ++s)
+    history.push_back(10.0 + 4.0 * templates[1][static_cast<std::size_t>(s)]);
+  EXPECT_EQ(forecaster.match_or_prior(history, 0), forecaster.match(history));
+  EXPECT_EQ(forecaster.match_or_prior(history, 0), 1u);
+}
+
+TEST(PatternForecaster, MatchOrPriorFallsBackBelowHalfADay) {
+  std::vector<std::vector<double>> templates = {
+      std::vector<double>(TimeGrid::kSlotsPerWeek, 1.0),
+      std::vector<double>(TimeGrid::kSlotsPerWeek, -1.0)};
+  const PatternForecaster forecaster(templates);
+
+  const std::vector<double> short_history(PatternForecaster::kMinMatchSlots - 1,
+                                          5.0);
+  EXPECT_EQ(forecaster.match_or_prior(short_history, 1), 1u);
+  EXPECT_EQ(forecaster.match_or_prior({}, 0), 0u);
+  // The prior must name a real template.
+  EXPECT_THROW(forecaster.match_or_prior({}, 2), Error);
+}
+
+TEST(PatternForecaster, ConstantHistoryMatchesWithoutNaN) {
+  // A constant (zero-variance) history z-scores to the zero vector; the
+  // match must stay finite and pick some valid template.
+  std::vector<std::vector<double>> templates(2);
+  for (int s = 0; s < TimeGrid::kSlotsPerWeek; ++s) {
+    templates[0].push_back(std::sin(2.0 * M_PI * s / TimeGrid::kSlotsPerDay));
+    templates[1].push_back(static_cast<double>(s % 7));
+  }
+  const PatternForecaster forecaster(templates);
+  const std::vector<double> flat(2 * TimeGrid::kSlotsPerDay, 42.0);
+  const auto matched = forecaster.match_or_prior(flat, 0);
+  EXPECT_LT(matched, forecaster.template_count());
+
+  const auto forecast = forecaster.forecast(flat, TimeGrid::kSlotsPerDay);
+  for (const double v : forecast) EXPECT_TRUE(std::isfinite(v));
+}
+
 TEST(PatternForecaster, ValidatesInput) {
   EXPECT_THROW(PatternForecaster({}), Error);
   EXPECT_THROW(PatternForecaster({{1.0, 2.0}}), Error);

@@ -88,6 +88,19 @@ TEST(QualityChecks, SimplexWeightsPassAndFail) {
   EXPECT_GT(r.value, 0.05);  // worst violation ~0.1
 }
 
+TEST(QualityChecks, RejectRatioPassAndFail) {
+  EXPECT_TRUE(check_reject_ratio(0, 1000).passed);
+  EXPECT_TRUE(check_reject_ratio(10, 1000).passed);  // exactly 1%
+  const auto r = check_reject_ratio(11, 1000);
+  EXPECT_FALSE(r.passed);
+  EXPECT_DOUBLE_EQ(r.value, 0.011);
+
+  // Custom bound and the trivial-pass case of an empty input.
+  EXPECT_FALSE(check_reject_ratio(2, 10, 0.1).passed);
+  EXPECT_TRUE(check_reject_ratio(0, 0).passed);
+  EXPECT_DOUBLE_EQ(check_reject_ratio(0, 0).value, 0.0);
+}
+
 // --- board mechanics --------------------------------------------------
 
 TEST_F(QualityBoardTest, EvaluatesAndConsumesChecksForOneStage) {

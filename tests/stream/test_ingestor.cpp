@@ -1,0 +1,199 @@
+#include "stream/ingestor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/time_grid.h"
+#include "mapred/thread_pool.h"
+
+namespace cellscope {
+namespace {
+
+TrafficLog make_log(std::uint32_t tower, std::uint64_t start,
+                    std::uint64_t bytes) {
+  TrafficLog log;
+  log.user_id = 1;
+  log.tower_id = tower;
+  log.start_minute = static_cast<std::uint32_t>(start);
+  log.end_minute = static_cast<std::uint32_t>(start + 5);
+  log.bytes = bytes;
+  return log;
+}
+
+TEST(StreamIngestor, RoutesRecordsToWindowsOnDrain) {
+  StreamIngestor ingestor(StreamConfig{.n_shards = 3, .queue_capacity = 0});
+  ThreadPool pool(2);
+  EXPECT_EQ(ingestor.offer(make_log(7, 25, 100)), OfferResult::kAccepted);
+  EXPECT_EQ(ingestor.offer(make_log(7, 27, 50)), OfferResult::kAccepted);
+  EXPECT_EQ(ingestor.offer(make_log(12, 0, 9)), OfferResult::kAccepted);
+  EXPECT_EQ(ingestor.pending(), 3u);
+
+  ingestor.drain(pool);
+  EXPECT_EQ(ingestor.pending(), 0u);
+  EXPECT_EQ(ingestor.window_copy(7).raw_vector()[2], 150.0);
+  EXPECT_EQ(ingestor.window_copy(12).raw_vector()[0], 9.0);
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.offered, 3u);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(ingestor.tower_ids(), (std::vector<std::uint32_t>{7, 12}));
+}
+
+TEST(StreamIngestor, OfferBatchMatchesRecordByRecordOffers) {
+  std::vector<TrafficLog> logs;
+  for (std::uint32_t i = 0; i < 500; ++i)
+    logs.push_back(make_log(i % 11, (i * 37) % 4000, 10 + i));
+
+  StreamIngestor one(StreamConfig{.n_shards = 4, .queue_capacity = 0});
+  StreamIngestor other(StreamConfig{.n_shards = 4, .queue_capacity = 0});
+  ThreadPool pool(2);
+  for (const auto& log : logs) one.offer(log);
+  EXPECT_EQ(other.offer_batch(logs), logs.size());
+  one.drain(pool);
+  other.drain(pool);
+
+  ASSERT_EQ(one.tower_ids(), other.tower_ids());
+  for (const auto id : one.tower_ids())
+    EXPECT_EQ(one.window_copy(id).raw_vector(),
+              other.window_copy(id).raw_vector());
+}
+
+TEST(StreamIngestor, FullShardQueueDropsAndCounts) {
+  StreamIngestor ingestor(StreamConfig{.n_shards = 1, .queue_capacity = 2});
+  EXPECT_EQ(ingestor.offer(make_log(0, 0, 1)), OfferResult::kAccepted);
+  EXPECT_EQ(ingestor.offer(make_log(0, 10, 1)), OfferResult::kAccepted);
+  EXPECT_EQ(ingestor.offer(make_log(0, 20, 1)), OfferResult::kDropped);
+  EXPECT_EQ(ingestor.offer(make_log(0, 30, 1)), OfferResult::kDropped);
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.offered, 4u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.dropped, 2u);
+
+  // Draining frees capacity again.
+  ThreadPool pool(1);
+  ingestor.drain(pool);
+  EXPECT_EQ(ingestor.offer(make_log(0, 40, 1)), OfferResult::kAccepted);
+}
+
+TEST(StreamIngestor, WatermarkAndLatenessAccounting) {
+  StreamConfig config;
+  config.n_shards = 2;
+  config.queue_capacity = 0;
+  config.max_lateness_minutes = 120;
+  StreamIngestor ingestor(config);
+
+  TrafficLog head = make_log(1, 995, 10);
+  head.end_minute = 1000;
+  ingestor.offer(head);
+  EXPECT_EQ(ingestor.stats().watermark_minute, 1000u);
+  EXPECT_EQ(ingestor.stats().late, 0u);
+
+  // Within the lateness bound: fine.
+  ingestor.offer(make_log(2, 900, 5));
+  EXPECT_EQ(ingestor.stats().late, 0u);
+  // Beyond it: counted late but still accepted (and applied on drain).
+  ingestor.offer(make_log(2, 500, 7));
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.late, 1u);
+  EXPECT_EQ(stats.accepted, 3u);
+
+  ThreadPool pool(1);
+  ingestor.drain(pool);
+  EXPECT_EQ(ingestor.window_copy(2).raw_vector()[50], 7.0);
+}
+
+TEST(StreamIngestor, RegisteredTowersAppearAsColdWindows) {
+  StreamIngestor ingestor(StreamConfig{.n_shards = 2, .queue_capacity = 0});
+  std::vector<Tower> towers(3);
+  towers[0].id = 4;
+  towers[1].id = 9;
+  towers[2].id = 2;
+  ingestor.register_towers(towers);
+
+  EXPECT_EQ(ingestor.tower_ids(), (std::vector<std::uint32_t>{2, 4, 9}));
+  const auto folded = ingestor.folded_vectors();
+  ASSERT_EQ(folded.size(), 3u);
+  for (const auto& [id, vec] : folded) {
+    ASSERT_EQ(vec.size(), TimeGrid::kSlotsPerWeek);
+    for (const double v : vec) EXPECT_EQ(v, 0.0);  // silent tower, z=0
+  }
+}
+
+TEST(StreamIngestor, WindowCopyOfUnknownTowerThrows) {
+  StreamIngestor ingestor;
+  EXPECT_THROW(ingestor.window_copy(42), InvalidArgument);
+}
+
+TEST(StreamIngestor, FromEnvReadsShardAndQueueKnobs) {
+  ::setenv("CELLSCOPE_STREAM_SHARDS", "7", 1);
+  ::setenv("CELLSCOPE_STREAM_QUEUE", "123", 1);
+  const auto config = StreamConfig::from_env();
+  EXPECT_EQ(config.n_shards, 7u);
+  EXPECT_EQ(config.queue_capacity, 123u);
+  ::unsetenv("CELLSCOPE_STREAM_SHARDS");
+  ::unsetenv("CELLSCOPE_STREAM_QUEUE");
+  const auto defaults = StreamConfig::from_env();
+  EXPECT_EQ(defaults.n_shards, StreamConfig{}.n_shards);
+  EXPECT_EQ(defaults.queue_capacity, StreamConfig{}.queue_capacity);
+}
+
+TEST(StreamIngestor, ConcurrentProducersConserveBytes) {
+  StreamIngestor ingestor(StreamConfig{.n_shards = 4, .queue_capacity = 0});
+  ThreadPool pool(2);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&ingestor, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto tower = static_cast<std::uint32_t>((t * 31 + i) % 16);
+        const auto minute = static_cast<std::uint64_t>(
+            (i * 13) % (TimeGrid::kSlots * TimeGrid::kSlotMinutes));
+        TrafficLog log;
+        log.user_id = static_cast<std::uint64_t>(t);
+        log.tower_id = tower;
+        log.start_minute = static_cast<std::uint32_t>(minute);
+        log.end_minute = static_cast<std::uint32_t>(minute);
+        log.bytes = 3;
+        ingestor.offer(log);
+      }
+    });
+  }
+  for (auto& thread : producers) thread.join();
+  ingestor.drain(pool);
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.offered, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.accepted, stats.offered);
+  std::uint64_t total = 0;
+  for (const auto id : ingestor.tower_ids())
+    total += ingestor.window_copy(id).total_bytes();
+  EXPECT_EQ(total, 3u * kThreads * kPerThread);
+}
+
+TEST(StreamIngestor, DrainOnSaturatedBoundedPoolFallsBackInline) {
+  // A bounded pool with a tiny queue forces the caller-runs path; the
+  // drain must still complete and apply everything.
+  StreamIngestor ingestor(StreamConfig{.n_shards = 8, .queue_capacity = 0});
+  ThreadPool pool(1, /*max_queue=*/1);
+  std::vector<TrafficLog> logs;
+  for (std::uint32_t i = 0; i < 2000; ++i)
+    logs.push_back(make_log(i % 64, (i * 7) % 40000, 1));
+  ingestor.offer_batch(logs);
+  ingestor.drain(pool);
+  EXPECT_EQ(ingestor.pending(), 0u);
+  std::uint64_t total = 0;
+  for (const auto id : ingestor.tower_ids())
+    total += ingestor.window_copy(id).total_bytes();
+  EXPECT_EQ(total, logs.size());
+}
+
+}  // namespace
+}  // namespace cellscope

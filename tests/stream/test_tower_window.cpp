@@ -1,0 +1,129 @@
+#include "stream/tower_window.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time_grid.h"
+#include "pipeline/traffic_matrix.h"
+
+namespace cellscope {
+namespace {
+
+TEST(TowerWindow, StartsEmpty) {
+  TowerWindow window;
+  EXPECT_EQ(window.observed_slots(), 0u);
+  EXPECT_EQ(window.total_bytes(), 0u);
+  EXPECT_EQ(window.mean(), 0.0);
+  EXPECT_EQ(window.variance(), 0.0);
+  EXPECT_TRUE(window.observed_history().empty());
+  const auto raw = window.raw_vector();
+  ASSERT_EQ(raw.size(), TimeGrid::kSlots);
+  for (const double v : raw) EXPECT_EQ(v, 0.0);
+}
+
+TEST(TowerWindow, BinsBytesByStartMinute) {
+  TowerWindow window;
+  // Minute 25 -> slot 2; minute 29 -> slot 2; minute 30 -> slot 3.
+  EXPECT_EQ(window.add(25, 100), TowerWindow::Apply::kApplied);
+  EXPECT_EQ(window.add(29, 50), TowerWindow::Apply::kApplied);
+  EXPECT_EQ(window.add(30, 7), TowerWindow::Apply::kApplied);
+  const auto raw = window.raw_vector();
+  EXPECT_EQ(raw[2], 150.0);
+  EXPECT_EQ(raw[3], 7.0);
+  EXPECT_EQ(window.observed_slots(), 2u);
+  EXPECT_EQ(window.total_bytes(), 157u);
+}
+
+TEST(TowerWindow, ZeroByteRecordMarksSlotObserved) {
+  TowerWindow window;
+  window.add(0, 0);
+  EXPECT_EQ(window.observed_slots(), 1u);
+  EXPECT_EQ(window.total_bytes(), 0u);
+}
+
+TEST(TowerWindow, IncrementalMomentsMatchBatchStatistics) {
+  TowerWindow window;
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const auto minute = static_cast<std::uint64_t>(
+        rng.uniform_int(0, TimeGrid::kSlots * TimeGrid::kSlotMinutes - 1));
+    const auto bytes = static_cast<std::uint64_t>(rng.uniform_int(0, 100000));
+    window.add(minute, bytes);
+  }
+  const auto raw = window.raw_vector();
+  EXPECT_EQ(window.mean(), mean(raw));  // integer sum: exactly equal
+  EXPECT_NEAR(window.variance(), variance(raw),
+              1e-9 * std::max(1.0, variance(raw)));
+}
+
+TEST(TowerWindow, ZscoredAndFoldedMatchBatchHelpersExactly) {
+  TowerWindow window;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto minute = static_cast<std::uint64_t>(
+        rng.uniform_int(0, TimeGrid::kSlots * TimeGrid::kSlotMinutes - 1));
+    window.add(minute, static_cast<std::uint64_t>(rng.uniform_int(1, 9999)));
+  }
+  const auto raw = window.raw_vector();
+  EXPECT_EQ(window.zscored(), zscore(raw));
+  EXPECT_EQ(window.folded_week(), fold_to_week({zscore(raw)}).front());
+}
+
+TEST(TowerWindow, RingAdvanceEvictsOldCycleAndRejectsStale) {
+  TowerWindow window;
+  constexpr std::uint64_t kGridMinutes =
+      TimeGrid::kSlots * TimeGrid::kSlotMinutes;  // 40320
+  window.add(15, 100);  // slot 1, cycle 0
+  EXPECT_EQ(window.latest_cycle(), 0u);
+
+  // Same ring slot, next cycle: evicts the 100 bytes, keeps the new 30.
+  EXPECT_EQ(window.add(kGridMinutes + 15, 30), TowerWindow::Apply::kApplied);
+  EXPECT_EQ(window.latest_cycle(), 1u);
+  EXPECT_EQ(window.raw_vector()[1], 30.0);
+  EXPECT_EQ(window.total_bytes(), 30u);
+  EXPECT_EQ(window.observed_slots(), 1u);
+
+  // A record from the evicted cycle is stale for that slot.
+  EXPECT_EQ(window.add(15, 5), TowerWindow::Apply::kStale);
+  EXPECT_EQ(window.raw_vector()[1], 30.0);
+
+  // Other slots still accept cycle-0 data (the rolling 4-week window
+  // spans the previous cycle's tail).
+  EXPECT_EQ(window.add(25, 8), TowerWindow::Apply::kApplied);
+  EXPECT_EQ(window.raw_vector()[2], 8.0);
+}
+
+TEST(TowerWindow, ObservedHistorySpansFirstToLastObservedSlot) {
+  TowerWindow window;
+  window.add(5 * TimeGrid::kSlotMinutes, 11);   // slot 5
+  window.add(9 * TimeGrid::kSlotMinutes, 22);   // slot 9
+  const auto history = window.observed_history();
+  ASSERT_EQ(history.size(), 5u);  // slots 5..9 inclusive
+  EXPECT_EQ(history.front(), 11.0);
+  EXPECT_EQ(history.back(), 22.0);
+  EXPECT_EQ(history[1], 0.0);  // unobserved interior slot reads 0
+}
+
+TEST(TowerWindow, StateRoundTripIsExact) {
+  TowerWindow window;
+  Rng rng(123);
+  for (int i = 0; i < 300; ++i) {
+    const auto minute = static_cast<std::uint64_t>(rng.uniform_int(
+        0, 2 * TimeGrid::kSlots * TimeGrid::kSlotMinutes - 1));
+    window.add(minute, static_cast<std::uint64_t>(rng.uniform_int(0, 5000)));
+  }
+  const auto restored = TowerWindow::from_state(window.state());
+  EXPECT_EQ(restored.raw_vector(), window.raw_vector());
+  EXPECT_EQ(restored.observed_slots(), window.observed_slots());
+  EXPECT_EQ(restored.total_bytes(), window.total_bytes());
+  EXPECT_EQ(restored.latest_cycle(), window.latest_cycle());
+  // sumsq is carried verbatim, so the moments are bit-identical.
+  EXPECT_EQ(restored.mean(), window.mean());
+  EXPECT_EQ(restored.variance(), window.variance());
+}
+
+}  // namespace
+}  // namespace cellscope

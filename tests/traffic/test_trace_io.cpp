@@ -6,6 +6,8 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/quality.h"
 
 namespace cellscope {
 namespace {
@@ -55,12 +57,83 @@ TEST_F(TraceIoTest, SkipsStructurallyBrokenRows) {
     out << "1,2,3,4,5,addr\n";          // good
     out << "not,enough,columns\n";      // wrong arity
     out << "x,2,3,4,5,addr\n";          // non-numeric user id
-    out << "9,8,7,6,5,addr2\n";         // good
+    out << "9,8,6,7,5,addr2\n";         // good
   }
   const auto logs = read_trace_csv(path());
   ASSERT_EQ(logs.size(), 2u);
   EXPECT_EQ(logs[0].user_id, 1u);
   EXPECT_EQ(logs[1].user_id, 9u);
+}
+
+TEST_F(TraceIoTest, SkipsOutOfRangeRowsAndCountsRejects) {
+  auto& registry = obs::MetricsRegistry::instance();
+  const auto rejected_before =
+      registry.counter("cellscope.io.rejected_lines").value();
+  {
+    std::ofstream out(path());
+    out << "user_id,tower_id,start_minute,end_minute,bytes,address\n";
+    out << "1,2,3,4,5,addr\n";                    // good
+    out << "1,2,9,4,5,addr\n";                    // end < start
+    out << "1,4294967296,3,4,5,addr\n";           // tower overflows u32
+    out << "1,2,4294967296,4294967297,5,addr\n";  // minutes overflow u32
+    out << "2,3,10,10,0,addr\n";                  // good (zero-length)
+  }
+  const auto logs = read_trace_csv(path());
+  ASSERT_EQ(logs.size(), 2u);
+  EXPECT_EQ(logs[1].duration_minutes(), 0u);
+  EXPECT_EQ(registry.counter("cellscope.io.rejected_lines").value(),
+            rejected_before + 3);
+}
+
+TEST_F(TraceIoTest, HighRejectRatioRecordsFailingVerdict) {
+  auto& board = obs::QualityBoard::instance();
+  board.clear();
+  {
+    std::ofstream out(path());
+    out << "user_id,tower_id,start_minute,end_minute,bytes,address\n";
+    out << "1,2,3,4,5,addr\n";      // good
+    out << "garbage\n";             // rejected: 50% > the 1% bound
+  }
+  read_trace_csv(path());
+  const auto verdicts = board.verdicts();
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].check, "trace_reject_ratio");
+  EXPECT_EQ(verdicts[0].stage, "io.read_trace");
+  EXPECT_FALSE(verdicts[0].passed);
+  EXPECT_DOUBLE_EQ(verdicts[0].value, 0.5);
+  board.clear();
+}
+
+TEST_F(TraceIoTest, CleanFileRecordsPassingVerdict) {
+  auto& board = obs::QualityBoard::instance();
+  board.clear();
+  write_trace_csv(path(), sample_logs());
+  read_trace_csv(path());
+  const auto verdicts = board.verdicts();
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].passed);
+  EXPECT_DOUBLE_EQ(verdicts[0].value, 0.0);
+  board.clear();
+}
+
+TEST(TrafficLogSemantics, DurationFollowsHalfOpenConvention) {
+  TrafficLog log;
+  log.start_minute = 600;
+  log.end_minute = 615;
+  EXPECT_EQ(log.duration_minutes(), 15u);
+
+  // Zero-length connections are valid and last zero minutes.
+  log.end_minute = 600;
+  EXPECT_EQ(log.duration_minutes(), 0u);
+}
+
+TEST(TrafficLogSemantics, CrossMidnightConnectionHasPlainDifference) {
+  // 23:55 on day 0 to 00:10 on day 1 — minutes are absolute over the
+  // grid, so no wrap-around logic applies.
+  TrafficLog log;
+  log.start_minute = 23 * 60 + 55;
+  log.end_minute = 24 * 60 + 10;
+  EXPECT_EQ(log.duration_minutes(), 15u);
 }
 
 TEST_F(TraceIoTest, EmptyFileYieldsNoLogs) {
