@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Streaming race check: configure a ThreadSanitizer build in build-tsan/,
-# build the stream test suite, and run `ctest -L stream` under it. The
-# sharded ingestor's lock striping, the bounded thread-pool queue, and the
-# classify-all pass are the intended targets (DESIGN.md §9); any data race
-# fails the run.
+# Streaming race + crash-safety check: configure a ThreadSanitizer build
+# in build-tsan/, build the stream and fault test suites, and run
+# `ctest -L 'stream|fault'` under it. The sharded ingestor's lock
+# striping, the bounded thread-pool queue, the classify-all pass, and the
+# snapshot write/restore paths with injected faults are the intended
+# targets (DESIGN.md §9); any data race or crash-safety violation fails
+# the run.
 #
 # Usage:
 #   scripts/check_stream.sh            # configure (once), build, run
@@ -17,7 +19,8 @@ build_dir="${CELLSCOPE_TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
 # targets after CMakeLists changes.
 cmake -B "${build_dir}" -S "${repo_root}" -DCELLSCOPE_SANITIZE=thread
 
-cmake --build "${build_dir}" -j --target test_stream --target test_obs
+cmake --build "${build_dir}" -j --target test_stream --target test_obs \
+  --target test_fault --target snapshot_fuzz
 
-echo "check_stream: running ctest -L stream under ThreadSanitizer"
-ctest --test-dir "${build_dir}" -L stream --output-on-failure
+echo "check_stream: running ctest -L 'stream|fault' under ThreadSanitizer"
+ctest --test-dir "${build_dir}" -L 'stream|fault' --output-on-failure

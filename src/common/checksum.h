@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, the zlib/gzip polynomial) for file framing.
+//
+// The stream snapshot frame (stream/snapshot.h) trails its payload with
+// this checksum so torn writes and bit rot are detected before a restore
+// mutates anything. Table-driven, one byte per step — plenty for
+// checkpoint-sized buffers; chain calls via the `seed` parameter to
+// checksum discontiguous spans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cellscope {
+
+/// CRC-32 of `n` bytes at `data`. Pass a previous result as `seed` to
+/// continue a running checksum; the default seed starts a fresh one.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// CRC-32 of a contiguous byte string.
+inline std::uint32_t crc32(std::string_view data) {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace cellscope

@@ -1,0 +1,120 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace cellscope::fp {
+
+namespace {
+
+struct Entry {
+  int charges = 0;  ///< firings left; < 0 = unlimited
+  std::uint64_t fired = 0;
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry* registry = new Registry;  // never destroyed
+    return *registry;
+  }
+
+  void arm(std::string_view name, int charges) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[std::string(name)].charges = charges;
+  }
+
+  void disarm(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) it->second.charges = 0;
+  }
+
+  void disarm_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+  std::uint64_t fire_count(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.fired;
+  }
+
+  bool fire(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.charges == 0) return false;
+    if (it->second.charges > 0) --it->second.charges;
+    ++it->second.fired;
+    return true;
+  }
+
+ private:
+  Registry() {
+    // Env-driven arming happens exactly once, here; a typo in an
+    // operator-supplied spec is reported and skipped, never fatal.
+    const char* spec = std::getenv("CELLSCOPE_FAILPOINTS");
+    if (spec == nullptr || *spec == '\0') return;
+    try {
+      arm_from_spec_locked(spec);
+    } catch (const InvalidArgument& e) {
+      std::fprintf(stderr, "cellscope: ignoring CELLSCOPE_FAILPOINTS: %s\n",
+                   e.what());
+    }
+  }
+
+  void arm_from_spec_locked(std::string_view spec) {
+    for (const auto& part : split(spec, ',')) {
+      const std::string entry = trim(part);
+      if (entry.empty()) continue;
+      const auto eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0)
+        throw InvalidArgument("failpoint spec entry needs name=count: '" +
+                              entry + "'");
+      const std::string name = trim(entry.substr(0, eq));
+      const std::string count = trim(entry.substr(eq + 1));
+      char* end = nullptr;
+      const long charges = std::strtol(count.c_str(), &end, 10);
+      if (count.empty() || end == nullptr || *end != '\0')
+        throw InvalidArgument("failpoint spec count must be an integer: '" +
+                              entry + "'");
+      entries_[name].charges = static_cast<int>(charges);
+    }
+  }
+
+  friend void cellscope::fp::arm_from_spec(std::string_view);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace
+
+void arm(std::string_view name, int charges) {
+  Registry::instance().arm(name, charges);
+}
+
+void disarm(std::string_view name) { Registry::instance().disarm(name); }
+
+void disarm_all() { Registry::instance().disarm_all(); }
+
+void arm_from_spec(std::string_view spec) {
+  auto& registry = Registry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex_);
+  registry.arm_from_spec_locked(spec);
+}
+
+std::uint64_t fire_count(std::string_view name) {
+  return Registry::instance().fire_count(name);
+}
+
+bool fire(std::string_view name) { return Registry::instance().fire(name); }
+
+}  // namespace cellscope::fp

@@ -1,0 +1,63 @@
+// Failpoints: deterministic fault injection for crash-safety tests.
+//
+// A failpoint is a named site in production code — `if
+// (CS_FAILPOINT("snapshot.rename.fail")) ...` — that normally evaluates
+// to false. Tests (or an operator reproducing a failure) arm a site with
+// a charge count; each evaluation of an armed site consumes one charge
+// and returns true, letting the code path simulate the corresponding
+// fault (a short write, a failed rename, a rejected pool submit) without
+// mocking the I/O layer. Charges make ordering deterministic: "fail the
+// first rename, succeed after" is arm("snapshot.rename.fail", 1).
+//
+// Arming is programmatic (fp::arm / fp::arm_from_spec) or env-driven: the
+// CELLSCOPE_FAILPOINTS variable ("name=count,name=count", count -1 =
+// every hit) is read once, on first registry access. Malformed env
+// entries are skipped with a note on stderr — an operator typo must not
+// abort the process during static init.
+//
+// The whole subsystem compiles to `false` (zero code at the sites)
+// unless CELLSCOPE_FAILPOINTS_ENABLED is defined; the CMake option
+// CELLSCOPE_FAILPOINTS (default ON) controls that definition, so
+// hardened production builds can strip every site with -D
+// CELLSCOPE_FAILPOINTS=OFF. Armed-or-not evaluation is one mutex-guarded
+// map lookup — every wired site (snapshot framing, trace file I/O,
+// thread-pool admission) is already far colder than that.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cellscope::fp {
+
+/// Arms `name` with `charges` firings; each fire() consumes one.
+/// charges < 0 fires on every hit until disarmed; charges == 0 disarms.
+void arm(std::string_view name, int charges = 1);
+
+/// Disarms `name` (no-op when not armed). Hit counts are kept.
+void disarm(std::string_view name);
+
+/// Disarms every failpoint and zeroes all hit counts (test teardown).
+void disarm_all();
+
+/// Parses and arms a "name=count[,name=count...]" spec — the
+/// CELLSCOPE_FAILPOINTS grammar. Throws InvalidArgument on a malformed
+/// entry (programmatic callers want loud failures; the env loader
+/// catches and skips).
+void arm_from_spec(std::string_view spec);
+
+/// Times an armed `name` actually fired since the last disarm_all().
+std::uint64_t fire_count(std::string_view name);
+
+/// Evaluation core behind CS_FAILPOINT: true when `name` is armed and a
+/// charge is consumed. Reads CELLSCOPE_FAILPOINTS on first call.
+bool fire(std::string_view name);
+
+}  // namespace cellscope::fp
+
+/// True when the named failpoint is armed (consuming one charge); false —
+/// with zero generated code — when failpoints are compiled out.
+#ifdef CELLSCOPE_FAILPOINTS_ENABLED
+#define CS_FAILPOINT(name) (::cellscope::fp::fire(name))
+#else
+#define CS_FAILPOINT(name) (false)
+#endif

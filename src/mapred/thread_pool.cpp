@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace cellscope {
@@ -75,6 +76,13 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 std::optional<std::future<void>> ThreadPool::try_submit(
     std::function<void()> task) {
+  // Simulated admission rejection: exercises every caller's fallback
+  // (caller-runs draining, inline folds) without needing a genuinely
+  // saturated queue — the fault suite's handle on backpressure paths.
+  if (CS_FAILPOINT("mapred.submit.reject")) {
+    metric_rejected_->add(1);
+    return std::nullopt;
+  }
   QueuedTask queued{std::packaged_task<void()>(std::move(task)),
                     std::chrono::steady_clock::now()};
   std::future<void> future;

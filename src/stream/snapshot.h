@@ -1,23 +1,39 @@
-// Checkpoint/restore for the streaming ingestor.
+// Crash-safe checkpoint/restore for the streaming ingestor.
 //
 // write_snapshot serializes the full in-flight state — every tower
 // window's observed bins (exact integer bytes + ring cycle), its running
 // second moment, the watermark, and the lifetime ingest counters — to a
-// versioned little-endian binary file. read_snapshot restores that state
-// into a freshly constructed ingestor, which may use a different shard
-// count (windows re-route by tower id); a restarted replay then finishes
-// with vectors and labels bit-identical to an uninterrupted run
+// checksummed little-endian binary frame. read_snapshot restores that
+// state into a freshly constructed ingestor, which may use a different
+// shard count (windows re-route by tower id); a restarted replay then
+// finishes with vectors and labels bit-identical to an uninterrupted run
 // (ctest -L stream pins this).
 //
-// Format (all integers little-endian, fixed width):
-//   u32 magic "CSSN"  u32 version
+// Frame format (all integers little-endian, fixed width):
+//   u32 magic "CSSN"   u32 version   u64 payload_len
+//   payload (payload_len bytes)      u32 crc32(payload)
+// Payload layout:
 //   u64 watermark  u64 offered  u64 accepted  u64 dropped  u64 late
 //   u64 stale  u64 n_windows
 //   per window: u32 tower_id  u64 n_bins  f64 sumsq
-//               then per bin: u32 slot  u32 cycle  u64 bytes
-// Truncated files, bad magic, and unknown versions throw; a snapshot is
-// written to <path>.tmp and atomically renamed so readers never observe
-// a half-written file.
+//               then per bin (ascending slot): u32 slot  u32 cycle
+//               u64 bytes
+//
+// Durability contract (DESIGN.md §9 "Durability"):
+//  - write: serialize to memory, write <path>.tmp, fsync, then atomically
+//    rename over <path> (and fsync the directory), so a crash at any
+//    instant leaves either the old complete snapshot or the new complete
+//    snapshot — never a torn file — at <path>.
+//  - read: the frame is validated end to end (magic, version, length
+//    against the file size, CRC over the payload) and decoded into a
+//    staging structure BEFORE the ingestor is touched. Any truncation,
+//    bit flip, or malformed field throws IoError and leaves the target
+//    ingestor bit-identical to its pre-call state — restore is
+//    all-or-nothing.
+// Failures bump cellscope.stream.snapshot_{write,restore}_failures and
+// log at warn level. The `ctest -L fault` suite (truncation at every
+// field boundary, single-bit flips, failpoint-injected partial writes
+// and rename failures) proves the contract stays true.
 #pragma once
 
 #include <cstdint>
@@ -28,26 +44,33 @@ namespace cellscope {
 class StreamIngestor;
 
 /// Snapshot file magic ("CSSN" little-endian) and current version.
+/// Version 2 added the length/CRC framing; version-1 files (unframed)
+/// are rejected with a typed IoError naming both versions.
 inline constexpr std::uint32_t kSnapshotMagic = 0x4E535343u;
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Bookkeeping returned by write_snapshot.
 struct SnapshotInfo {
   std::size_t towers = 0;
-  std::uint64_t bins = 0;   ///< observed bins serialized
-  std::uint64_t bytes = 0;  ///< file size on disk
+  std::uint64_t bins = 0;      ///< observed bins serialized
+  std::uint64_t bytes = 0;     ///< file size on disk (0 if stat failed)
+  std::uint32_t crc32 = 0;     ///< payload checksum written to the frame
 };
 
-/// Serializes the ingestor's full state to `path`. Pending (offered but
+/// Serializes the ingestor's full state to `path` via the
+/// write-tmp/fsync/rename protocol above. Pending (offered but
 /// undrained) records are NOT part of a snapshot — drain first; the
 /// function throws when records are still pending, because silently
-/// dropping them would break the resume-bit-identical contract.
+/// dropping them would break the resume-bit-identical contract. Throws
+/// IoError on any I/O failure; `path` then still holds whatever complete
+/// snapshot it held before the call.
 SnapshotInfo write_snapshot(const std::string& path,
                             const StreamIngestor& ingestor);
 
 /// Restores a snapshot into `ingestor` (freshly constructed; any shard
-/// count). Throws IoError on open/short-read failures and Error on bad
-/// magic/version or malformed window data.
+/// count). All-or-nothing: throws IoError on open failures, truncation,
+/// checksum mismatches, unsupported versions, and malformed window data,
+/// and in every failure case leaves `ingestor` exactly as it was.
 void read_snapshot(const std::string& path, StreamIngestor& ingestor);
 
 }  // namespace cellscope

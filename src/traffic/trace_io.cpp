@@ -5,6 +5,7 @@
 
 #include "common/csv.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/quality.h"
 
@@ -21,6 +22,8 @@ constexpr double kMaxRejectRatio = 0.01;
 
 void write_trace_csv(const std::string& path,
                      const std::vector<TrafficLog>& logs) {
+  if (CS_FAILPOINT("trace.write.fail"))
+    throw IoError("failpoint trace.write.fail: refusing to write " + path);
   CsvWriter writer(path);
   writer.write_row(std::vector<std::string>(std::begin(kHeader),
                                             std::end(kHeader)));
@@ -35,6 +38,8 @@ void write_trace_csv(const std::string& path,
 }
 
 std::vector<TrafficLog> read_trace_csv(const std::string& path) {
+  if (CS_FAILPOINT("trace.read.fail"))
+    throw IoError("failpoint trace.read.fail: refusing to read " + path);
   const auto rows = CsvReader::read_file(path);
   std::vector<TrafficLog> logs;
   if (rows.empty()) return logs;

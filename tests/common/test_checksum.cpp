@@ -1,0 +1,41 @@
+#include "common/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cellscope {
+namespace {
+
+TEST(Crc32, KnownAnswerVectors) {
+  // The CRC-32/IEEE check value ("123456789") and friends.
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+}
+
+TEST(Crc32, SeedChainingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const auto whole = crc32(data);
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    const auto first = crc32(data.data(), cut);
+    const auto chained = crc32(data.data() + cut, data.size() - cut, first);
+    EXPECT_EQ(chained, whole) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32, SingleBitFlipAlwaysChangesChecksum) {
+  const std::string data(128, '\x5a');
+  const auto clean = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(crc32(flipped), clean) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,72 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace cellscope {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fp::disarm_all(); }
+};
+
+TEST_F(FailpointTest, UnarmedNeverFires) {
+  EXPECT_FALSE(fp::fire("fault.test.unarmed"));
+  EXPECT_FALSE(CS_FAILPOINT("fault.test.unarmed"));
+  EXPECT_EQ(fp::fire_count("fault.test.unarmed"), 0u);
+}
+
+TEST_F(FailpointTest, ChargesAreConsumedExactly) {
+  fp::arm("fault.test.charges", 2);
+  EXPECT_TRUE(fp::fire("fault.test.charges"));
+  EXPECT_TRUE(fp::fire("fault.test.charges"));
+  EXPECT_FALSE(fp::fire("fault.test.charges"));
+  EXPECT_EQ(fp::fire_count("fault.test.charges"), 2u);
+}
+
+TEST_F(FailpointTest, NegativeChargesFireForever) {
+  fp::arm("fault.test.always", -1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(fp::fire("fault.test.always"));
+  EXPECT_EQ(fp::fire_count("fault.test.always"), 100u);
+  fp::disarm("fault.test.always");
+  EXPECT_FALSE(fp::fire("fault.test.always"));
+  // Disarm keeps the history; disarm_all clears it.
+  EXPECT_EQ(fp::fire_count("fault.test.always"), 100u);
+  fp::disarm_all();
+  EXPECT_EQ(fp::fire_count("fault.test.always"), 0u);
+}
+
+TEST_F(FailpointTest, SpecGrammarArmsMultipleEntries) {
+  fp::arm_from_spec("fault.test.a=1, fault.test.b=-1 ,,fault.test.c=0");
+  EXPECT_TRUE(fp::fire("fault.test.a"));
+  EXPECT_FALSE(fp::fire("fault.test.a"));
+  EXPECT_TRUE(fp::fire("fault.test.b"));
+  EXPECT_TRUE(fp::fire("fault.test.b"));
+  EXPECT_FALSE(fp::fire("fault.test.c"));  // 0 charges = disarmed
+}
+
+TEST_F(FailpointTest, MalformedSpecThrowsInvalidArgument) {
+  EXPECT_THROW(fp::arm_from_spec("no-equals-sign"), InvalidArgument);
+  EXPECT_THROW(fp::arm_from_spec("=3"), InvalidArgument);
+  EXPECT_THROW(fp::arm_from_spec("fault.test.x=notanumber"),
+               InvalidArgument);
+  EXPECT_THROW(fp::arm_from_spec("fault.test.x="), InvalidArgument);
+}
+
+TEST_F(FailpointTest, DisarmingUnknownNameIsANoOp) {
+  EXPECT_NO_THROW(fp::disarm("fault.test.never-armed"));
+}
+
+TEST_F(FailpointTest, RearmingReplacesCharges) {
+  fp::arm("fault.test.rearm", 1);
+  fp::arm("fault.test.rearm", 3);
+  EXPECT_TRUE(fp::fire("fault.test.rearm"));
+  EXPECT_TRUE(fp::fire("fault.test.rearm"));
+  EXPECT_TRUE(fp::fire("fault.test.rearm"));
+  EXPECT_FALSE(fp::fire("fault.test.rearm"));
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -133,6 +133,55 @@ TEST(Histogram, QuantileEdgeCases) {
   EXPECT_THROW(h.quantile(1.1), Error);
 }
 
+// Pins current quantile behavior on the degenerate shapes the snapshot
+// run reports feed from (empty, single-sample, q=0, q=1) before the
+// fault suite leans on p99 numbers: any estimator change must show up
+// here, not as silent drift in crash-recovery reports.
+TEST(Histogram, QuantilePinnedOnEmptyHistogram) {
+  Histogram empty({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantilePinnedOnSingleSample) {
+  // One sample in an interior bucket: every q interpolates across that
+  // bucket, so q=0 pins to its lower edge and q=1 to its upper edge.
+  Histogram h({10.0, 20.0, 40.0});
+  h.observe(15.0);  // lands in (10, 20]
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+
+  // One sample in the first bucket interpolates from min(0, bound).
+  Histogram first({10.0, 20.0});
+  first.observe(5.0);
+  EXPECT_DOUBLE_EQ(first.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(first.quantile(1.0), 10.0);
+
+  // A negative first bound keeps the lower edge at the bound itself.
+  Histogram negative({-5.0, 10.0});
+  negative.observe(-7.0);
+  EXPECT_DOUBLE_EQ(negative.quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(negative.quantile(1.0), -5.0);  // bucket has zero width
+
+  // A single overflow sample clamps to the largest bound at every q.
+  Histogram overflow({10.0, 20.0});
+  overflow.observe(99.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(1.0), 20.0);
+}
+
+TEST(Histogram, QuantileExtremesPinnedOnPopulatedHistogram) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 4; ++i) h.observe(5.0);
+  for (int i = 0; i < 4; ++i) h.observe(30.0);
+  // q=0 pins to the lower edge of the first occupied bucket, q=1 to the
+  // upper edge of the last occupied bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+}
+
 TEST(Histogram, QuantileMatchesUniformFill) {
   // 100 observations spread evenly across (0, 100] in one bucket per
   // decade: percentile estimates should land on the decade boundaries.

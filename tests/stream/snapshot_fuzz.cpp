@@ -1,0 +1,218 @@
+// snapshot_fuzz — deterministic seeded corruption driver for the stream
+// snapshot frame (ctest label `fault`; no external deps).
+//
+// Builds a known ingestor state, writes a snapshot, then runs N seeded
+// rounds; each round applies a random corruption (truncation, bit flips,
+// zeroed span, appended garbage — or none, as a control) and attempts a
+// restore into a pre-seeded target. The invariant checked every round:
+// restore either succeeds on an intact frame with state bit-identical to
+// the donor, or throws IoError and leaves the target bit-identical to
+// its pre-call state. Anything else — wrong exception type, partial
+// mutation, a crash — fails the run.
+//
+// Usage: snapshot_fuzz [iterations] [seed]   (defaults: 400, 20150817)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/error.h"
+#include "mapred/thread_pool.h"
+#include "stream/ingestor.h"
+#include "stream/snapshot.h"
+
+namespace {
+
+using namespace cellscope;
+
+std::vector<TrafficLog> make_logs(std::uint32_t towers,
+                                  std::uint32_t per_tower,
+                                  std::uint64_t salt) {
+  std::vector<TrafficLog> logs;
+  for (std::uint32_t t = 0; t < towers; ++t) {
+    for (std::uint32_t k = 0; k < per_tower; ++k) {
+      TrafficLog log;
+      log.user_id = salt * 1000 + k;
+      log.tower_id = t;
+      log.start_minute = t * 131 + k * 10;
+      log.end_minute = log.start_minute + 3;
+      log.bytes = 64 + t * 13 + k * 31 + salt;
+      log.address = "fuzz";
+      logs.push_back(std::move(log));
+    }
+  }
+  return logs;
+}
+
+struct Fingerprint {
+  std::vector<std::pair<std::uint32_t, TowerWindow::State>> windows;
+  IngestStats stats;
+};
+
+Fingerprint fingerprint(const StreamIngestor& ingestor) {
+  return {ingestor.export_windows(), ingestor.stats()};
+}
+
+bool same(const Fingerprint& a, const Fingerprint& b) {
+  if (a.windows.size() != b.windows.size()) return false;
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    const auto& [aid, as] = a.windows[i];
+    const auto& [bid, bs] = b.windows[i];
+    if (aid != bid || as.sumsq != bs.sumsq ||
+        as.bins.size() != bs.bins.size())
+      return false;
+    for (std::size_t k = 0; k < as.bins.size(); ++k)
+      if (as.bins[k].slot != bs.bins[k].slot ||
+          as.bins[k].cycle != bs.bins[k].cycle ||
+          as.bins[k].bytes != bs.bins[k].bytes)
+        return false;
+  }
+  return a.stats.offered == b.stats.offered &&
+         a.stats.accepted == b.stats.accepted &&
+         a.stats.dropped == b.stats.dropped && a.stats.late == b.stats.late &&
+         a.stats.stale == b.stats.stale &&
+         a.stats.watermark_minute == b.stats.watermark_minute;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 400;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 20150817ull;
+  std::mt19937_64 rng(seed);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string tag = std::to_string(::getpid());
+  const std::string donor_path = (dir / ("cs_fuzz_" + tag + ".bin")).string();
+  const std::string seed_path =
+      (dir / ("cs_fuzz_" + tag + "_seed.bin")).string();
+  const std::string victim_path =
+      (dir / ("cs_fuzz_" + tag + "_victim.bin")).string();
+
+  ThreadPool pool(2);
+
+  StreamIngestor donor(StreamConfig{.n_shards = 3, .queue_capacity = 0});
+  donor.offer_batch(make_logs(6, 14, 1));
+  donor.drain(pool);
+  write_snapshot(donor_path, donor);
+  const std::string frame = read_file(donor_path);
+  const Fingerprint donor_print = fingerprint(donor);
+
+  StreamIngestor seeded(StreamConfig{.n_shards = 2, .queue_capacity = 0});
+  seeded.offer_batch(make_logs(6, 8, 2));
+  seeded.drain(pool);
+  write_snapshot(seed_path, seeded);
+  const Fingerprint seed_print = fingerprint(seeded);
+
+  int accepted = 0;
+  int rejected = 0;
+  int failures = 0;
+  for (int i = 0; i < iterations; ++i) {
+    std::string corrupt = frame;
+    bool intact = false;
+    switch (rng() % 5) {
+      case 0:  // control round: pristine frame must restore
+        intact = true;
+        break;
+      case 1:  // truncate anywhere (including to empty)
+        corrupt.resize(rng() % frame.size());
+        break;
+      case 2: {  // flip 1..8 bits
+        const int flips = 1 + static_cast<int>(rng() % 8);
+        for (int f = 0; f < flips; ++f) {
+          const std::size_t p = rng() % corrupt.size();
+          corrupt[p] = static_cast<char>(corrupt[p] ^
+                                         (1u << (rng() % 8)));
+        }
+        break;
+      }
+      case 3: {  // zero a random span
+        const std::size_t begin = rng() % corrupt.size();
+        const std::size_t len =
+            1 + rng() % std::min<std::size_t>(64, corrupt.size() - begin);
+        for (std::size_t p = begin; p < begin + len; ++p) corrupt[p] = 0;
+        break;
+      }
+      case 4: {  // append garbage past the frame
+        const std::size_t extra = 1 + rng() % 32;
+        for (std::size_t p = 0; p < extra; ++p)
+          corrupt.push_back(static_cast<char>(rng() & 0xFF));
+        break;
+      }
+    }
+    // Bit flips / zeroed spans can land as a no-op (already-zero span);
+    // detect actual no-ops so the expectation matches.
+    if (corrupt == frame) intact = true;
+    write_file(victim_path, corrupt);
+
+    StreamIngestor target(StreamConfig{.n_shards = 2, .queue_capacity = 0});
+    read_snapshot(seed_path, target);
+    try {
+      read_snapshot(victim_path, target);
+      if (!intact) {
+        // A corrupted frame slipped through (CRC collision odds are
+        // ~2^-32 per round — in a deterministic seeded run this means a
+        // validation gap, not bad luck).
+        std::fprintf(stderr,
+                     "FAIL round %d: corrupt frame accepted (%zu bytes)\n",
+                     i, corrupt.size());
+        ++failures;
+        continue;
+      }
+      if (!same(fingerprint(target), donor_print)) {
+        std::fprintf(stderr,
+                     "FAIL round %d: intact restore not bit-identical\n", i);
+        ++failures;
+        continue;
+      }
+      ++accepted;
+    } catch (const IoError&) {
+      if (intact) {
+        std::fprintf(stderr, "FAIL round %d: pristine frame rejected\n", i);
+        ++failures;
+        continue;
+      }
+      if (!same(fingerprint(target), seed_print)) {
+        std::fprintf(stderr,
+                     "FAIL round %d: rejected restore mutated the target\n",
+                     i);
+        ++failures;
+        continue;
+      }
+      ++rejected;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "FAIL round %d: wrong exception type: %s\n", i,
+                   e.what());
+      ++failures;
+    }
+  }
+
+  for (const auto& p : {donor_path, seed_path, victim_path})
+    std::filesystem::remove(p);
+
+  std::printf(
+      "snapshot_fuzz: %d rounds (seed %llu): %d intact restores, %d clean "
+      "rejections, %d failures\n",
+      iterations, static_cast<unsigned long long>(seed), accepted, rejected,
+      failures);
+  return failures == 0 ? 0 : 1;
+}
