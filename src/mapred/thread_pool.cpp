@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/failpoint.h"
 #include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace cellscope {
 
@@ -136,6 +137,16 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     const auto started = std::chrono::steady_clock::now();
     queue_wait_ns_.fetch_add(elapsed_ns(queued.enqueued, started),
                              std::memory_order_relaxed);
+    auto& trace = obs::StageTrace::instance();
+    if (trace.enabled()) {
+      // Tasks are coarse (per-shard drains, parallel_for blocks), so one
+      // retroactive span per dequeue is cheap and makes pool contention
+      // visible on the trace timeline next to the stage spans.
+      const double enqueued_us = obs::time_point_us(queued.enqueued);
+      trace.record_complete("pool.queue_wait", "mapred", enqueued_us,
+                            obs::time_point_us(started) - enqueued_us,
+                            "\"worker\":" + std::to_string(worker_index));
+    }
     metric_queue_depth_->add(-1);
     queued.task();
     busy_ns_[worker_index].fetch_add(

@@ -87,11 +87,97 @@ std::string escape_log_value(std::string_view value) {
         out += "\\t";
         break;
       default:
-        out.push_back(c);
+        // Remaining control characters must not reach the line raw: a
+        // stray 0x01 (or an embedded NUL) would break line-oriented
+        // logfmt consumers. \u00XX round-trips via unescape_log_value.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
   }
   out.push_back('"');
   return out;
+}
+
+std::string unescape_log_value(std::string_view escaped) {
+  // Unquoted values carry no escapes by construction.
+  if (escaped.size() < 2 || escaped.front() != '"' || escaped.back() != '"')
+    return std::string(escaped);
+  const std::string_view body = escaped.substr(1, escaped.size() - 2);
+  std::string out;
+  out.reserve(body.size());
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (body[i] != '\\' || i + 1 >= body.size()) {
+      out.push_back(body[i]);
+      continue;
+    }
+    const char next = body[++i];
+    switch (next) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'u': {
+        unsigned code = 0;
+        if (i + 4 < body.size() &&
+            std::sscanf(std::string(body.substr(i + 1, 4)).c_str(), "%4x",
+                        &code) == 1) {
+          out.push_back(static_cast<char>(code & 0xFF));
+          i += 4;
+        } else {
+          out.push_back('u');
+        }
+        break;
+      }
+      default:
+        out.push_back(next);  // \" and \\ and anything unknown
+    }
+  }
+  return out;
+}
+
+std::vector<LogField> parse_log_line(std::string_view line) {
+  std::vector<LogField> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) break;
+    const std::size_t key_begin = i;
+    while (i < line.size() && line[i] != '=' && line[i] != ' ') ++i;
+    if (i >= line.size() || line[i] != '=') break;  // trailing bare token
+    const std::string_view key = line.substr(key_begin, i - key_begin);
+    ++i;  // consume '='
+    std::size_t value_begin = i;
+    std::string_view raw;
+    if (i < line.size() && line[i] == '"') {
+      ++i;  // opening quote
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          i += 2;
+          continue;
+        }
+        if (line[i] == '"') break;
+        ++i;
+      }
+      if (i < line.size()) ++i;  // closing quote
+      raw = line.substr(value_begin, i - value_begin);
+    } else {
+      while (i < line.size() && line[i] != ' ') ++i;
+      raw = line.substr(value_begin, i - value_begin);
+    }
+    fields.emplace_back(key, unescape_log_value(raw));
+  }
+  return fields;
 }
 
 std::string format_log_line(LogLevel level, std::string_view event,

@@ -58,8 +58,20 @@ struct LogField {
 
 /// Quotes and escapes a field value when it contains spaces, quotes, '=',
 /// backslashes, control characters, or is empty; returns it verbatim
-/// otherwise.
+/// otherwise. Control characters without a short escape (\n, \r, \t)
+/// are emitted as \u00XX so every byte round-trips through
+/// unescape_log_value / parse_log_line.
 std::string escape_log_value(std::string_view value);
+
+/// Inverse of escape_log_value: strips surrounding quotes (when present)
+/// and resolves \", \\, \n, \r, \t, and \u00XX escapes. Unquoted input
+/// is returned verbatim.
+std::string unescape_log_value(std::string_view escaped);
+
+/// Parses one logfmt line back into its fields (ts/level/event included),
+/// resolving quoting and escapes — the round-trip counterpart of
+/// format_log_line, used by log-reading tools and the regression tests.
+std::vector<LogField> parse_log_line(std::string_view line);
 
 /// Formats one full log line (without trailing newline):
 ///   ts=<ISO8601.ms> level=<level> event=<event> k1=v1 k2="v 2"

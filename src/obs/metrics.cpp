@@ -42,11 +42,27 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::observe(double value) noexcept {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  const auto index = static_cast<std::size_t>(it - bounds_.begin());
-  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add_double(sum_bits_, value);
+}
+
+void Histogram::observe_n(double value, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  merge_bucket(bucket_of(value), n, value * static_cast<double>(n));
+}
+
+std::size_t Histogram::bucket_of(double value) const noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::merge_bucket(std::size_t bucket, std::uint64_t n,
+                             double value_sum) noexcept {
+  if (n == 0 || bucket > bounds_.size()) return;
+  buckets_[bucket].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  atomic_add_double(sum_bits_, value_sum);
 }
 
 double Histogram::sum() const noexcept {
@@ -98,6 +114,30 @@ void Histogram::reset() noexcept {
 std::vector<double> default_ms_buckets() {
   return {0.1, 0.25, 0.5,  1.0,  2.5,  5.0,   10.0,  25.0,
           50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0, 60000.0};
+}
+
+std::vector<double> pow2_minute_buckets() {
+  std::vector<double> bounds;
+  bounds.reserve(17);
+  for (int shift = 0; shift <= 16; ++shift)
+    bounds.push_back(static_cast<double>(std::uint64_t{1} << shift));
+  return bounds;
+}
+
+HistogramBatch::HistogramBatch(Histogram& sink)
+    : sink_(sink),
+      counts_(sink.upper_bounds().size() + 1, 0),
+      sums_(sink.upper_bounds().size() + 1, 0.0) {}
+
+void HistogramBatch::flush() noexcept {
+  if (pending_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    sink_.merge_bucket(i, counts_[i], sums_[i]);
+    counts_[i] = 0;
+    sums_[i] = 0.0;
+  }
+  pending_ = 0;
 }
 
 std::string json_escape(std::string_view s) {
@@ -208,6 +248,70 @@ std::string MetricsRegistry::snapshot_json() const {
   }
   json += "}}";
   return json;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the
+/// dots in cellscope.<layer>.<name>) maps to '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9')
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::snapshot_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One globally sorted exposition: merge the three per-kind maps into
+  // (exposed name, render) rows so the output is deterministic and
+  // diff-stable across runs regardless of registration order.
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    const std::string exposed = prometheus_name(name);
+    rows.emplace_back(exposed, "# TYPE " + exposed + " counter\n" + exposed +
+                                   ' ' + std::to_string(c->value()) + '\n');
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string exposed = prometheus_name(name);
+    rows.emplace_back(
+        exposed, "# TYPE " + exposed + " gauge\n" + exposed + ' ' +
+                     std::to_string(g->value()) + "\n# TYPE " + exposed +
+                     "_max gauge\n" + exposed + "_max " +
+                     std::to_string(g->max_value()) + '\n');
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string exposed = prometheus_name(name);
+    std::string text = "# TYPE " + exposed + " histogram\n";
+    const auto& bounds = h->upper_bounds();
+    const auto counts = h->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      text += exposed + "_bucket{le=\"" + format_json_double(bounds[i]) +
+              "\"} " + std::to_string(cumulative) + '\n';
+    }
+    cumulative += counts.back();
+    text += exposed + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+            '\n';
+    text += exposed + "_sum " + format_json_double(h->sum()) + '\n';
+    text += exposed + "_count " + std::to_string(cumulative) + '\n';
+    rows.emplace_back(exposed, std::move(text));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out;
+  for (auto& [name, text] : rows) out += text;
+  return out;
 }
 
 void MetricsRegistry::reset() {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -83,6 +84,22 @@ class Histogram {
 
   void observe(double value) noexcept;
 
+  /// Records `n` identical observations of `value` in one pass — the same
+  /// three atomic updates as a single observe(), so batch producers (the
+  /// stream ingestor's per-batch latency accounting) stay O(1) per batch
+  /// instead of O(records).
+  void observe_n(double value, std::uint64_t n) noexcept;
+
+  /// Index of the bucket observe(value) would land in (the overflow
+  /// bucket is bounds().size()).
+  std::size_t bucket_of(double value) const noexcept;
+
+  /// Merges a pre-aggregated cell into the histogram: `n` observations in
+  /// `bucket` whose values sum to `value_sum`. The back door HistogramBatch
+  /// flushes through; `bucket` must be <= upper_bounds().size().
+  void merge_bucket(std::size_t bucket, std::uint64_t n,
+                    double value_sum) noexcept;
+
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
@@ -112,6 +129,58 @@ class Histogram {
 /// histograms (0.1 ms .. 60 s).
 std::vector<double> default_ms_buckets();
 
+/// Power-of-two minute bounds (1, 2, 4, ... 65536) for event-time lag
+/// histograms: bucket_of(lag) reduces to a bit_width, so hot ingest loops
+/// can pre-bucket locally without a bounds search (see HistogramBatch).
+std::vector<double> pow2_minute_buckets();
+
+/// bucket_of() for a histogram built on pow2_minute_buckets(), computed
+/// with one bit_width instead of a bounds search — agrees with
+/// Histogram::bucket_of for every integer input (17 = overflow bucket).
+inline std::size_t pow2_minute_bucket(std::uint64_t minutes) noexcept {
+  if (minutes <= 1) return 0;
+  const auto width = static_cast<std::size_t>(std::bit_width(minutes - 1));
+  return width <= 16 ? width : 17;
+}
+
+/// Local, lock-free accumulator over one Histogram's bucket layout.
+///
+/// observe() touches only plain (non-atomic) cells; flush() merges every
+/// dirty cell into the shared histogram with one merge_bucket() each —
+/// turning per-record atomic traffic into per-batch traffic on hot paths.
+/// Not thread-safe; make one per batch (or per thread) and flush before
+/// the histogram is read.
+class HistogramBatch {
+ public:
+  explicit HistogramBatch(Histogram& sink);
+  ~HistogramBatch() { flush(); }
+
+  void observe(double value) noexcept {
+    observe_bucket(sink_.bucket_of(value), value);
+  }
+  /// For callers that computed the bucket themselves (e.g. via bit_width
+  /// against pow2_minute_buckets()).
+  void observe_bucket(std::size_t bucket, double value) noexcept {
+    counts_[bucket] += 1;
+    sums_[bucket] += value;
+    pending_ += 1;
+  }
+
+  /// Observations accumulated locally and not yet flushed.
+  std::uint64_t pending() const noexcept { return pending_; }
+
+  void flush() noexcept;
+
+  HistogramBatch(const HistogramBatch&) = delete;
+  HistogramBatch& operator=(const HistogramBatch&) = delete;
+
+ private:
+  Histogram& sink_;
+  std::vector<std::uint64_t> counts_;  // bounds + 1
+  std::vector<double> sums_;
+  std::uint64_t pending_ = 0;
+};
+
 /// Escapes a string for embedding inside a JSON string literal.
 std::string json_escape(std::string_view s);
 
@@ -130,9 +199,17 @@ class MetricsRegistry {
     return histogram(name, default_ms_buckets());
   }
 
-  /// One JSON object with "counters", "gauges", and "histograms" keys,
-  /// metrics sorted by name.
+  /// One JSON object with "counters", "gauges", and "histograms" keys.
+  /// Ordering is deterministic — metrics appear sorted by name within
+  /// each section — so snapshots diff cleanly across runs.
   std::string snapshot_json() const;
+
+  /// Prometheus text exposition (version 0.0.4) of every metric, sorted
+  /// globally by exposed name. Dots in metric names become underscores;
+  /// gauges additionally expose their high-watermark as `<name>_max`;
+  /// histograms follow the cumulative `_bucket{le=...}` / `_sum` /
+  /// `_count` convention. Served by /metrics (obs/introspect.h).
+  std::string snapshot_prometheus() const;
 
   /// Zeroes every registered metric (tests and bench reports).
   void reset();

@@ -42,15 +42,26 @@ double now_us() {
       .count();
 }
 
+double time_point_us(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration<double, std::micro>(tp - process_start())
+      .count();
+}
+
 ScopedTimer::~ScopedTimer() {
   if (sink_) sink_->observe(elapsed_ms());
 }
+
+// Retention bound: a long-lived traced process (or a bench loop) must
+// not grow span memory without limit. Past the cap, new spans are
+// dropped and counted; clear() re-arms recording.
+constexpr std::size_t kMaxTraceEvents = 131072;
 
 struct StageTrace::State {
   mutable std::mutex mutex;
   std::vector<TraceEvent> events;
   std::unordered_map<std::uint64_t, std::size_t> open;  // token -> index
   std::uint64_t next_token = 1;
+  std::uint64_t dropped = 0;
 };
 
 StageTrace::StageTrace() : state_(new State) {
@@ -88,10 +99,33 @@ std::uint64_t StageTrace::begin(std::string_view name,
   event.dur_us = -1.0;  // open
   event.tid = current_tid();
   std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->events.size() >= kMaxTraceEvents) {
+    ++state_->dropped;
+    return 0;  // token 0 makes the matching end() a no-op
+  }
   const std::uint64_t token = state_->next_token++;
   state_->open.emplace(token, state_->events.size());
   state_->events.push_back(std::move(event));
   return token;
+}
+
+void StageTrace::record_complete(std::string_view name,
+                                 std::string_view category, double ts_us,
+                                 double dur_us, std::string args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us < 0.0 ? 0.0 : dur_us;
+  event.tid = current_tid();
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->events.size() >= kMaxTraceEvents) {
+    ++state_->dropped;
+    return;
+  }
+  state_->events.push_back(std::move(event));
 }
 
 void StageTrace::end(std::uint64_t token) {
@@ -118,6 +152,12 @@ void StageTrace::clear() {
   std::lock_guard<std::mutex> lock(state_->mutex);
   state_->events.clear();
   state_->open.clear();
+  state_->dropped = 0;
+}
+
+std::uint64_t StageTrace::dropped() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->dropped;
 }
 
 std::string StageTrace::chrome_trace_json() const {
@@ -130,7 +170,9 @@ std::string StageTrace::chrome_trace_json() const {
     json += "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
             json_escape(e.category) + "\",\"ph\":\"X\",\"ts\":" +
             format_us(e.ts_us) + ",\"dur\":" + format_us(e.dur_us) +
-            ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + '}';
+            ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (!e.args.empty()) json += ",\"args\":{" + e.args + '}';
+    json += '}';
   }
   json += "],\"displayTimeUnit\":\"ms\"}";
   return json;

@@ -24,6 +24,11 @@ class Histogram;
 /// Monotonic microseconds since process start (steady clock).
 double now_us();
 
+/// Converts a steady_clock time point to the same process-relative
+/// microsecond scale now_us() uses — for spans whose start was stamped
+/// elsewhere (queue entries, ingest arrival times).
+double time_point_us(std::chrono::steady_clock::time_point tp);
+
 /// Observes its elapsed wall time, in milliseconds, into a histogram on
 /// destruction. Pass nullptr to only measure (elapsed_ms()).
 class ScopedTimer {
@@ -56,6 +61,9 @@ struct TraceEvent {
   double ts_us = 0.0;   ///< start, microseconds since process start
   double dur_us = 0.0;  ///< duration in microseconds
   std::uint64_t tid = 0;
+  /// Optional pre-rendered JSON object body for the Chrome-trace "args"
+  /// field (without braces), e.g. `"tower":12,"user":7` — empty = none.
+  std::string args;
 };
 
 /// Process-global begin/end span recorder.
@@ -78,8 +86,20 @@ class StageTrace {
   /// Closes the span opened under `token` (0 is a no-op).
   void end(std::uint64_t token);
 
-  /// Completed spans recorded so far.
+  /// Records an already-measured span in one call — for retroactive
+  /// spans whose start was stamped before the recorder knew it would
+  /// keep them (sampled record tracing, pool queue waits). `args` is an
+  /// optional pre-rendered JSON object body (see TraceEvent::args).
+  /// No-op when recording is off.
+  void record_complete(std::string_view name, std::string_view category,
+                       double ts_us, double dur_us, std::string args = {});
+
+  /// Completed spans recorded so far. Retention is bounded (131072
+  /// events); spans past the cap are dropped and counted, and clear()
+  /// re-arms recording.
   std::vector<TraceEvent> events() const;
+  /// Spans dropped by the retention cap since the last clear().
+  std::uint64_t dropped() const;
   void clear();
 
   /// Chrome trace-event format ("traceEvents" of complete "X" events).

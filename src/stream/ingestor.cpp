@@ -4,9 +4,11 @@
 #include <cstdlib>
 
 #include "common/error.h"
+#include "obs/introspect.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace_sample.h"
 
 namespace cellscope {
 
@@ -22,6 +24,25 @@ std::size_t env_size(const char* name, std::size_t fallback) {
   }
   return fallback;
 }
+
+/// Sampling identity of a record: a pure function of its content, so the
+/// same record makes the same trace decision at every stage with no state
+/// carried between them (obs/trace_sample.h).
+std::uint64_t record_hash(const TrafficLog& log) {
+  return obs::mix64(log.user_id ^
+                    (static_cast<std::uint64_t>(log.tower_id) << 32) ^
+                    (static_cast<std::uint64_t>(log.start_minute) << 1) ^
+                    log.end_minute);
+}
+
+std::uint64_t low_watermark_of(std::uint64_t watermark,
+                               std::uint32_t max_lateness) {
+  return watermark > max_lateness ? watermark - max_lateness : 0;
+}
+
+/// Bound on sampled records awaiting their classify span per shard —
+/// a classifier that never runs must not grow memory without limit.
+constexpr std::size_t kMaxSampledAwaiting = 256;
 
 }  // namespace
 
@@ -47,6 +68,25 @@ StreamIngestor::StreamIngestor(StreamConfig config) : config_(config) {
   metric_drains_ = &registry.counter("cellscope.stream.drain_batches");
   metric_pending_ = &registry.gauge("cellscope.stream.pending_records");
   metric_drain_ms_ = &registry.histogram("cellscope.stream.drain_ms");
+  metric_event_lag_ = &registry.histogram("cellscope.stream.event_lag_minutes",
+                                          obs::pow2_minute_buckets());
+  metric_apply_ms_ = &registry.histogram("cellscope.stream.record_apply_ms");
+  metric_e2e_ms_ = &registry.histogram("cellscope.stream.record_e2e_ms");
+  // Live shard view; the destructor's remove_handler drains any in-flight
+  // request before `this` goes away.
+  obs::IntrospectionServer::instance().set_handler(
+      "/stream",
+      [this] {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        response.body = status_json();
+        return response;
+      },
+      this);
+}
+
+StreamIngestor::~StreamIngestor() {
+  obs::IntrospectionServer::instance().remove_handler("/stream", this);
 }
 
 void StreamIngestor::register_towers(const std::vector<Tower>& towers) {
@@ -66,7 +106,8 @@ TowerWindow& StreamIngestor::window_in(Shard& shard, std::uint32_t tower_id) {
   return it->second;
 }
 
-bool StreamIngestor::account_arrival(const TrafficLog& log) {
+bool StreamIngestor::account_arrival(const TrafficLog& log, Shard& shard,
+                                     obs::HistogramBatch& lag) {
   offered_.fetch_add(1, std::memory_order_relaxed);
   metric_offered_->add(1);
   // Watermark: largest end_minute seen so far. `observed` ends up holding
@@ -78,6 +119,18 @@ bool StreamIngestor::account_arrival(const TrafficLog& log) {
          !watermark_minute_.compare_exchange_weak(observed, end,
                                                   std::memory_order_relaxed)) {
   }
+  std::uint64_t shard_seen =
+      shard.watermark_minute.load(std::memory_order_relaxed);
+  while (end > shard_seen &&
+         !shard.watermark_minute.compare_exchange_weak(
+             shard_seen, end, std::memory_order_relaxed)) {
+  }
+  // Event-time lag: how far this record's start trails the watermark as
+  // it stood on arrival (the frontier record itself has zero lag).
+  const std::uint64_t lag_minutes =
+      observed > log.start_minute ? observed - log.start_minute : 0;
+  lag.observe_bucket(obs::pow2_minute_bucket(lag_minutes),
+                     static_cast<double>(lag_minutes));
   const bool late =
       static_cast<std::uint64_t>(log.start_minute) +
           config_.max_lateness_minutes <
@@ -90,17 +143,20 @@ bool StreamIngestor::account_arrival(const TrafficLog& log) {
 }
 
 OfferResult StreamIngestor::offer(const TrafficLog& log) {
-  account_arrival(log);
+  obs::HistogramBatch lag(*metric_event_lag_);
   Shard& shard = shard_of(log.tower_id);
+  account_arrival(log, shard, lag);
+  const double offered_us = obs::now_us();
   {
     std::lock_guard<std::mutex> lock(shard.queue_mutex);
     if (config_.queue_capacity > 0 &&
         shard.pending.size() >= config_.queue_capacity) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      shard.dropped.fetch_add(1, std::memory_order_relaxed);
       metric_dropped_->add(1);
       return OfferResult::kDropped;
     }
-    shard.pending.push_back(log);
+    shard.pending.push_back(Pending{log, offered_us});
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
   metric_accepted_->add(1);
@@ -111,11 +167,16 @@ OfferResult StreamIngestor::offer(const TrafficLog& log) {
 std::size_t StreamIngestor::offer_batch(std::span<const TrafficLog> logs) {
   // Group by shard first: one stripe lock per shard per call, not per
   // record — the difference between ~1 M and ~10 M records/sec on the
-  // replay path.
+  // replay path. Lag observations aggregate locally and flush once, and
+  // the whole batch shares one offer stamp — per-record cost stays at a
+  // hash-free bucket increment.
+  obs::HistogramBatch lag(*metric_event_lag_);
+  const double offered_us = obs::now_us();
   std::vector<std::vector<const TrafficLog*>> buckets(shards_.size());
   for (const auto& log : logs) {
-    account_arrival(log);
-    buckets[log.tower_id % shards_.size()].push_back(&log);
+    const std::size_t s = log.tower_id % shards_.size();
+    account_arrival(log, *shards_[s], lag);
+    buckets[s].push_back(&log);
   }
   std::size_t total_accepted = 0;
   for (std::size_t s = 0; s < buckets.size(); ++s) {
@@ -134,11 +195,12 @@ std::size_t StreamIngestor::offer_batch(std::span<const TrafficLog> logs) {
       }
       shard.pending.reserve(shard.pending.size() + taken);
       for (std::size_t i = 0; i < taken; ++i)
-        shard.pending.push_back(*bucket[i]);
+        shard.pending.push_back(Pending{*bucket[i], offered_us});
     }
     const std::size_t refused = bucket.size() - taken;
     if (refused > 0) {
       dropped_.fetch_add(refused, std::memory_order_relaxed);
+      shard.dropped.fetch_add(refused, std::memory_order_relaxed);
       metric_dropped_->add(refused);
     }
     if (taken > 0) {
@@ -152,20 +214,58 @@ std::size_t StreamIngestor::offer_batch(std::span<const TrafficLog> logs) {
 }
 
 void StreamIngestor::drain_shard(Shard& shard) {
-  std::vector<TrafficLog> batch;
+  std::vector<Pending> batch;
   {
     std::lock_guard<std::mutex> lock(shard.queue_mutex);
     batch.swap(shard.pending);
   }
   if (batch.empty()) return;
+  auto& sampler = obs::TraceSampler::instance();
+  auto& trace = obs::StageTrace::instance();
+  // Per-record work below only happens for sampled records while tracing
+  // is on; with tracing off the loop body is the window update alone.
+  const bool tracing = sampler.active() && trace.enabled();
   std::uint64_t stale = 0;
   {
     std::lock_guard<std::mutex> lock(shard.window_mutex);
-    for (const auto& log : batch) {
+    for (const auto& entry : batch) {
+      const TrafficLog& log = entry.log;
       TowerWindow& window = window_in(shard, log.tower_id);
       if (window.add(log.start_minute, log.bytes) == TowerWindow::Apply::kStale)
         ++stale;
+      if (tracing && sampler.sampled(record_hash(log))) {
+        const double applied_us = obs::now_us();
+        trace.record_complete(
+            "record.apply", "stream", entry.offered_us,
+            applied_us - entry.offered_us,
+            "\"tower\":" + std::to_string(log.tower_id) +
+                ",\"user\":" + std::to_string(log.user_id) +
+                ",\"start_minute\":" + std::to_string(log.start_minute));
+        if (shard.sampled_awaiting.size() < kMaxSampledAwaiting)
+          shard.sampled_awaiting.emplace_back(log.tower_id, applied_us);
+      }
     }
+  }
+  // Offer-to-apply latency: records queued by one offer_batch call share
+  // an offer stamp, so one observe_n per run of equal stamps covers every
+  // record at per-batch cost.
+  const double applied_us = obs::now_us();
+  for (std::size_t i = 0; i < batch.size();) {
+    std::size_t j = i + 1;
+    while (j < batch.size() && batch[j].offered_us == batch[i].offered_us) ++j;
+    metric_apply_ms_->observe_n((applied_us - batch[i].offered_us) / 1000.0,
+                                j - i);
+    i = j;
+  }
+  // The batch is in arrival order, so its first stamp is the oldest;
+  // CAS-min it into the shard's unclassified frontier (0 = empty, so
+  // clamp real stamps to >= 1).
+  const std::uint64_t stamp = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(batch.front().offered_us));
+  std::uint64_t seen = shard.oldest_unclassified_us.load(std::memory_order_relaxed);
+  while ((seen == 0 || stamp < seen) &&
+         !shard.oldest_unclassified_us.compare_exchange_weak(
+             seen, stamp, std::memory_order_relaxed)) {
   }
   if (stale > 0) {
     stale_.fetch_add(stale, std::memory_order_relaxed);
@@ -203,6 +303,29 @@ void StreamIngestor::drain(ThreadPool& pool) {
                    {{"inline_shards", inline_drains}});
 }
 
+void StreamIngestor::note_classify_pass() const {
+  const double now = obs::now_us();
+  auto& sampler = obs::TraceSampler::instance();
+  auto& trace = obs::StageTrace::instance();
+  const bool tracing = sampler.active() && trace.enabled();
+  for (const auto& shard : shards_) {
+    const std::uint64_t oldest =
+        shard->oldest_unclassified_us.exchange(0, std::memory_order_relaxed);
+    if (oldest != 0)
+      metric_e2e_ms_->observe((now - static_cast<double>(oldest)) / 1000.0);
+    std::vector<std::pair<std::uint32_t, double>> sampled;
+    {
+      std::lock_guard<std::mutex> lock(shard->window_mutex);
+      sampled.swap(shard->sampled_awaiting);
+    }
+    if (!tracing) continue;
+    for (const auto& [tower, applied_us] : sampled)
+      trace.record_complete("record.classify", "stream", applied_us,
+                            now - applied_us,
+                            "\"tower\":" + std::to_string(tower));
+  }
+}
+
 std::size_t StreamIngestor::pending() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
@@ -220,7 +343,73 @@ IngestStats StreamIngestor::stats() const {
   stats.late = late_.load(std::memory_order_relaxed);
   stats.stale = stale_.load(std::memory_order_relaxed);
   stats.watermark_minute = watermark_minute_.load(std::memory_order_relaxed);
+  stats.low_watermark_minute =
+      low_watermark_of(stats.watermark_minute, config_.max_lateness_minutes);
   return stats;
+}
+
+std::vector<ShardStats> StreamIngestor::shard_stats() const {
+  const double now = obs::now_us();
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    ShardStats stats;
+    stats.shard = s;
+    {
+      std::lock_guard<std::mutex> lock(shard.queue_mutex);
+      stats.queue_depth = shard.pending.size();
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard.window_mutex);
+      stats.towers = shard.windows.size();
+    }
+    stats.dropped = shard.dropped.load(std::memory_order_relaxed);
+    stats.watermark_minute =
+        shard.watermark_minute.load(std::memory_order_relaxed);
+    stats.low_watermark_minute =
+        low_watermark_of(stats.watermark_minute, config_.max_lateness_minutes);
+    const std::uint64_t oldest =
+        shard.oldest_unclassified_us.load(std::memory_order_relaxed);
+    if (oldest != 0) {
+      const double age_ms = (now - static_cast<double>(oldest)) / 1000.0;
+      stats.unclassified_age_ms = age_ms > 0.0 ? age_ms : 0.0;
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+std::string StreamIngestor::status_json() const {
+  const IngestStats totals = stats();
+  std::string json = "{\"watermark_minute\":";
+  json += std::to_string(totals.watermark_minute);
+  json += ",\"low_watermark_minute\":";
+  json += std::to_string(totals.low_watermark_minute);
+  json += ",\"offered\":" + std::to_string(totals.offered);
+  json += ",\"accepted\":" + std::to_string(totals.accepted);
+  json += ",\"dropped\":" + std::to_string(totals.dropped);
+  json += ",\"late\":" + std::to_string(totals.late);
+  json += ",\"stale\":" + std::to_string(totals.stale);
+  json += ",\"pending\":" + std::to_string(pending());
+  json += ",\"shards\":[";
+  bool first = true;
+  for (const ShardStats& shard : shard_stats()) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"shard\":" + std::to_string(shard.shard);
+    json += ",\"queue_depth\":" + std::to_string(shard.queue_depth);
+    json += ",\"towers\":" + std::to_string(shard.towers);
+    json += ",\"dropped\":" + std::to_string(shard.dropped);
+    json += ",\"watermark_minute\":" + std::to_string(shard.watermark_minute);
+    json += ",\"low_watermark_minute\":" +
+            std::to_string(shard.low_watermark_minute);
+    json += ",\"unclassified_age_ms\":" +
+            std::to_string(shard.unclassified_age_ms);
+    json += '}';
+  }
+  json += "]}";
+  return json;
 }
 
 std::vector<std::uint32_t> StreamIngestor::tower_ids() const {
@@ -287,7 +476,16 @@ void StreamIngestor::import_window(std::uint32_t tower_id,
                                    const TowerWindow::State& state) {
   Shard& shard = shard_of(tower_id);
   std::lock_guard<std::mutex> lock(shard.window_mutex);
-  window_in(shard, tower_id) = TowerWindow::from_state(state);
+  TowerWindow& window = (window_in(shard, tower_id) =
+                             TowerWindow::from_state(state));
+  // Re-seed the shard's event-time progress from the restored window so
+  // /stream shows a sane (bin-granular) watermark after a restore.
+  const std::uint64_t restored = window.latest_minute();
+  std::uint64_t seen = shard.watermark_minute.load(std::memory_order_relaxed);
+  while (restored > seen &&
+         !shard.watermark_minute.compare_exchange_weak(
+             seen, restored, std::memory_order_relaxed)) {
+  }
 }
 
 void StreamIngestor::restore_stats(const IngestStats& stats) {

@@ -17,10 +17,21 @@
 // arrival-order perturbation of the same record set (the stream-vs-batch
 // equivalence contract, DESIGN.md §9; verified by ctest -L stream).
 //
+// Event-time progress: every shard tracks its own high watermark (largest
+// end_minute routed to it); the shard low-watermark trails it by the
+// configured lateness bound, and both only ever advance. Each offer also
+// feeds an event-time lag histogram (how far behind the global watermark
+// a record's start is), each drain a processing-latency histogram
+// (offer() to window application, stamped per offer batch), and each
+// classify pass an end-to-end latency observation (oldest applied-but-
+// unclassified offer to classification) — the live signals the /stream
+// introspection endpoint and the watermark sentinels read.
+//
 // Metrics: cellscope.stream.{records_offered, records_accepted,
 // records_dropped, records_late, records_stale, drain_batches} counters,
-// cellscope.stream.pending_records gauge, cellscope.stream.drain_ms
-// histogram.
+// cellscope.stream.pending_records gauge, cellscope.stream.drain_ms,
+// cellscope.stream.event_lag_minutes, cellscope.stream.record_apply_ms,
+// and cellscope.stream.record_e2e_ms histograms.
 #pragma once
 
 #include <atomic>
@@ -28,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -42,6 +54,7 @@ namespace obs {
 class Counter;
 class Gauge;
 class Histogram;
+class HistogramBatch;
 }  // namespace obs
 
 /// Ingest configuration. from_env() reads the operational knobs.
@@ -75,12 +88,31 @@ struct IngestStats {
   std::uint64_t late = 0;     ///< accepted but behind the lateness bound
   std::uint64_t stale = 0;    ///< applied-but-rejected by the ring (too old)
   std::uint64_t watermark_minute = 0;  ///< largest end_minute seen
+  /// Event-time low watermark: the global watermark minus the lateness
+  /// bound, clamped at 0 — exactly the lateness frontier account_arrival
+  /// measures against, so a record whose start trails it is counted late.
+  /// Monotone non-decreasing because the watermark is.
+  std::uint64_t low_watermark_minute = 0;
+};
+
+/// One shard's live view, for /stream and tests.
+struct ShardStats {
+  std::size_t shard = 0;
+  std::size_t queue_depth = 0;   ///< records pending drain
+  std::size_t towers = 0;        ///< windows resident in this shard
+  std::uint64_t dropped = 0;     ///< offers rejected by this shard's queue
+  std::uint64_t watermark_minute = 0;      ///< shard event-time high watermark
+  std::uint64_t low_watermark_minute = 0;  ///< watermark - lateness, >= 0
+  /// Age (ms of processing time) of the oldest record applied to a
+  /// window but not yet covered by a classify pass; 0 when none.
+  double unclassified_age_ms = 0.0;
 };
 
 /// Sharded, lock-striped streaming ingestor over per-tower windows.
 class StreamIngestor {
  public:
   explicit StreamIngestor(StreamConfig config = {});
+  ~StreamIngestor();
 
   /// Pre-creates an empty window per tower so silent towers still appear
   /// in folded_vectors()/classify_all() (as cold-start rows).
@@ -105,6 +137,21 @@ class StreamIngestor {
   std::size_t pending() const;
 
   IngestStats stats() const;
+
+  /// Per-shard live view, ascending by shard index.
+  std::vector<ShardStats> shard_stats() const;
+
+  /// The /stream endpoint body: one JSON object with the global totals
+  /// (stats() plus pending) and a "shards" array of shard_stats().
+  std::string status_json() const;
+
+  /// Marks a classification pass over the current windows: the oldest
+  /// applied-but-unclassified offer per shard resolves into one
+  /// end-to-end latency observation (cellscope.stream.record_e2e_ms),
+  /// and pending sampled records emit their record.classify spans.
+  /// Called by OnlineClassifier::classify_all after each pass.
+  void note_classify_pass() const;
+
   const StreamConfig& config() const { return config_; }
 
   /// Tower ids with a window, ascending.
@@ -134,11 +181,30 @@ class StreamIngestor {
   StreamIngestor& operator=(const StreamIngestor&) = delete;
 
  private:
+  /// A queued record plus its offer() wall stamp (process-relative µs,
+  /// obs::now_us) — the start of its apply/e2e latency measurements.
+  /// offer_batch stamps once per call, so records of one batch share it.
+  struct Pending {
+    TrafficLog log;
+    double offered_us = 0.0;
+  };
+
   struct Shard {
     mutable std::mutex queue_mutex;      // guards pending
-    std::vector<TrafficLog> pending;
+    std::vector<Pending> pending;
     mutable std::mutex window_mutex;     // guards windows + application
     std::vector<std::pair<std::uint32_t, TowerWindow>> windows;  // sorted
+    /// Largest end_minute routed to this shard (CAS-max).
+    std::atomic<std::uint64_t> watermark_minute{0};
+    /// Offers this shard's full queue rejected.
+    std::atomic<std::uint64_t> dropped{0};
+    /// Offer stamp (integer µs, >= 1) of the oldest record applied to a
+    /// window but not yet covered by a classify pass; 0 = none. CAS-min
+    /// at drain, exchanged to 0 by note_classify_pass.
+    std::atomic<std::uint64_t> oldest_unclassified_us{0};
+    /// Sampled records applied but awaiting their classify span:
+    /// (tower id, applied_us). Guarded by window_mutex; bounded.
+    mutable std::vector<std::pair<std::uint32_t, double>> sampled_awaiting;
   };
 
   Shard& shard_of(std::uint32_t tower_id) const {
@@ -148,9 +214,12 @@ class StreamIngestor {
   /// holds shard.window_mutex.
   TowerWindow& window_in(Shard& shard, std::uint32_t tower_id);
   void drain_shard(Shard& shard);
-  /// Watermark/lateness accounting shared by offer paths; returns true
-  /// when the record is late.
-  bool account_arrival(const TrafficLog& log);
+  /// Watermark/lateness/lag accounting shared by the offer paths:
+  /// advances the global and shard watermarks, counts lateness, and
+  /// buckets the record's event-time lag (pre-update watermark minus
+  /// start) into `lag`. Returns true when the record is late.
+  bool account_arrival(const TrafficLog& log, Shard& shard,
+                       obs::HistogramBatch& lag);
 
   StreamConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -170,6 +239,9 @@ class StreamIngestor {
   obs::Counter* metric_drains_;
   obs::Gauge* metric_pending_;
   obs::Histogram* metric_drain_ms_;
+  obs::Histogram* metric_event_lag_;  // pow2 minute buckets
+  obs::Histogram* metric_apply_ms_;
+  obs::Histogram* metric_e2e_ms_;
 };
 
 }  // namespace cellscope

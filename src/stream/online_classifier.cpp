@@ -125,6 +125,9 @@ OnlineClassifier::classify_all(const StreamIngestor& ingestor,
   std::size_t cold = 0;
   for (const auto& [id, c] : out)
     if (c.cold_start) ++cold;
+  // Every window has now been (re)classified: resolve the ingestor's
+  // offer-to-classify latency frontier and flush sampled classify spans.
+  ingestor.note_classify_pass();
   auto& registry = obs::MetricsRegistry::instance();
   registry.counter("cellscope.stream.classify_passes").add(1);
   registry.counter("cellscope.stream.classifications").add(out.size());

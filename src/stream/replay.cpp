@@ -1,9 +1,11 @@
 #include "stream/replay.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "obs/quality.h"
 #include "obs/timer.h"
 
@@ -66,7 +68,27 @@ ReplayStats replay_trace(const std::vector<TrafficLog>& logs,
   ReplayStats stats;
   stats.records = logs.size();
 
+  // Periodic file-based metrics scrape (see ReplayOptions). Opened once;
+  // append mode so successive replays accumulate into one timeline.
+  const bool scrape = options.metrics_interval_ms > 0 &&
+                      !options.metrics_jsonl_path.empty();
+  std::ofstream metrics_out;
+  if (scrape) {
+    metrics_out.open(options.metrics_jsonl_path, std::ios::app);
+    if (!metrics_out)
+      throw IoError("cannot open metrics JSONL file " +
+                    options.metrics_jsonl_path);
+  }
+
   obs::ScopedTimer timer;
+  const auto dump_metrics = [&] {
+    metrics_out << "{\"wall_ms\":" << timer.elapsed_ms() << ",\"metrics\":"
+                << obs::MetricsRegistry::instance().snapshot_json() << "}\n";
+    metrics_out.flush();  // a live tail -f must see complete lines
+    ++stats.metrics_snapshots;
+  };
+  double next_dump_ms = static_cast<double>(options.metrics_interval_ms);
+
   {
     obs::StageSpan span("stream.replay", "stream");
     for (std::size_t begin = 0; begin < logs.size();
@@ -81,6 +103,11 @@ ReplayStats replay_trace(const std::vector<TrafficLog>& logs,
           stats.batches % options.classify_every_batches == 0) {
         stats.labels = classifier->classify_all(ingestor, &pool);
         ++stats.classify_passes;
+      }
+      if (scrape && timer.elapsed_ms() >= next_dump_ms) {
+        dump_metrics();
+        next_dump_ms =
+            timer.elapsed_ms() + static_cast<double>(options.metrics_interval_ms);
       }
     }
     if (classifier != nullptr) {
@@ -111,6 +138,8 @@ ReplayStats replay_trace(const std::vector<TrafficLog>& logs,
     span.annotate({"dropped", ingest.dropped});
     span.annotate({"late", ingest.late});
   }
+
+  if (scrape) dump_metrics();  // final state, even for sub-interval replays
 
   stats.ingest = ingestor.stats();
   stats.wall_ms = timer.elapsed_ms();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mapred/thread_pool.h"
@@ -34,6 +35,13 @@ struct ReplayOptions {
   /// Run classifier.classify_all every this many batches (0 = only the
   /// final pass) — the online re-evaluation cadence.
   std::size_t classify_every_batches = 0;
+  /// When > 0 (and metrics_jsonl_path is set), append one full metrics
+  /// snapshot line to the JSONL file at roughly this wall-time cadence
+  /// during the replay, plus one final line — a file-based scrape that
+  /// works with the HTTP introspection server disabled. Each line is
+  /// {"wall_ms": <replay wall clock>, "metrics": <snapshot_json()>}.
+  std::uint32_t metrics_interval_ms = 0;
+  std::string metrics_jsonl_path;
 };
 
 /// Replay outcome.
@@ -44,6 +52,9 @@ struct ReplayStats {
   double wall_ms = 0.0;
   double records_per_sec = 0.0;
   std::size_t classify_passes = 0;
+  /// Metrics snapshot lines appended to metrics_jsonl_path (0 when the
+  /// periodic scrape was off).
+  std::size_t metrics_snapshots = 0;
   /// Final classification per tower (ascending id); empty when no
   /// classifier was supplied.
   std::vector<std::pair<std::uint32_t, Classification>> labels;

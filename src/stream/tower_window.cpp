@@ -35,6 +35,7 @@ TowerWindow::Apply TowerWindow::add(std::uint64_t start_minute,
   bins_[slot] = updated;
   cycles_[slot] = static_cast<std::int32_t>(cycle);
   latest_cycle_ = std::max(latest_cycle_, cycle);
+  latest_minute_ = std::max(latest_minute_, start_minute);
   total_bytes_ += bytes;
   sumsq_ += static_cast<double>(updated) * static_cast<double>(updated) -
             static_cast<double>(old) * static_cast<double>(old);
@@ -106,6 +107,12 @@ TowerWindow TowerWindow::from_state(const State& state) {
     window.bins_[bin.slot] = bin.bytes;
     window.cycles_[bin.slot] = static_cast<std::int32_t>(bin.cycle);
     window.latest_cycle_ = std::max(window.latest_cycle_, bin.cycle);
+    // Bin-granular reconstruction: the exact record start minute is gone,
+    // so the restored watermark rounds down to the newest bin's slot start.
+    const std::uint64_t abs_slot =
+        static_cast<std::uint64_t>(bin.cycle) * TimeGrid::kSlots + bin.slot;
+    window.latest_minute_ =
+        std::max(window.latest_minute_, abs_slot * TimeGrid::kSlotMinutes);
     window.total_bytes_ += bin.bytes;
     ++window.observed_;
   }

@@ -65,6 +65,13 @@ class TowerWindow {
   /// Highest cycle any record has touched (0 before the ring ever wraps).
   std::uint32_t latest_cycle() const { return latest_cycle_; }
 
+  /// Event-time high watermark of this window: the largest start_minute
+  /// any applied record carried (0 before the first record) — the
+  /// per-tower counterpart of the ingestor's shard watermark, kept O(1)
+  /// so the introspection plane can report per-tower progress without a
+  /// grid scan. Recomputed exactly from bins on checkpoint restore.
+  std::uint64_t latest_minute() const { return latest_minute_; }
+
   /// Mean bytes per bin over the full grid (unobserved bins count as 0),
   /// from the running sum — O(1).
   double mean() const;
@@ -105,6 +112,7 @@ class TowerWindow {
   std::vector<std::uint64_t> bins_;   // [kSlots] exact bytes
   std::vector<std::int32_t> cycles_;  // [kSlots]; -1 = never observed
   std::uint32_t latest_cycle_ = 0;
+  std::uint64_t latest_minute_ = 0;
   std::size_t observed_ = 0;
   std::uint64_t total_bytes_ = 0;
   double sumsq_ = 0.0;  // running sum of squared bin values

@@ -8,6 +8,7 @@
 #include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/quality.h"
+#include "obs/timer.h"
 
 namespace cellscope {
 
@@ -40,6 +41,7 @@ void write_trace_csv(const std::string& path,
 std::vector<TrafficLog> read_trace_csv(const std::string& path) {
   if (CS_FAILPOINT("trace.read.fail"))
     throw IoError("failpoint trace.read.fail: refusing to read " + path);
+  obs::StageSpan span("io.read_trace", "io", obs::LogLevel::kDebug);
   const auto rows = CsvReader::read_file(path);
   std::vector<TrafficLog> logs;
   if (rows.empty()) return logs;
@@ -84,10 +86,13 @@ std::vector<TrafficLog> read_trace_csv(const std::string& path) {
   }
 
   const std::size_t total = rows.size() - 1;
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("cellscope.io.trace_reads").add(1);
+  registry.counter("cellscope.io.trace_records").add(logs.size());
+  span.annotate({"records", logs.size()});
+  span.annotate({"rejected", rejected});
   if (rejected > 0)
-    obs::MetricsRegistry::instance()
-        .counter("cellscope.io.rejected_lines")
-        .add(rejected);
+    registry.counter("cellscope.io.rejected_lines").add(rejected);
   if (total > 0) {
     auto result = obs::check_reject_ratio(rejected, total, kMaxRejectRatio);
     obs::QualityBoard::instance().record(

@@ -66,6 +66,73 @@ TEST(LogFormat, ValuesNeedingQuotesAreEscaped) {
   EXPECT_EQ(escape_log_value("two\nlines"), "\"two\\nlines\"");
 }
 
+TEST(LogFormat, ControlCharactersAreEscapedNotEmittedRaw) {
+  // Regression: control characters other than \n/\r/\t used to pass
+  // through the quoted form raw, producing lines no logfmt parser (or
+  // line-oriented tool) could consume.
+  // (split literals: "\x01b" would otherwise parse as the single byte
+  // 0x1b — hex escapes are maximal-munch)
+  const auto escaped = escape_log_value(std::string("a\x01" "b\x1f" "z"));
+  for (const char c : escaped)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control byte leaked into: " << escaped;
+  EXPECT_EQ(escaped, "\"a\\u0001b\\u001fz\"");
+}
+
+TEST(LogFormat, EscapedValuesRoundTrip) {
+  const std::string nasty[] = {
+      "plain",
+      "two words",
+      "k=v",
+      "say \"hi\"",
+      "back\\slash",
+      "two\nlines",
+      "tab\there",
+      "cr\rlf\n",
+      std::string("nul\0inside", 10),
+      "ctrl\x01\x02\x1f",
+      "",
+      "=",
+      "\"",
+      "trailing\\",
+  };
+  for (const auto& value : nasty) {
+    EXPECT_EQ(unescape_log_value(escape_log_value(value)), value)
+        << "failed round-trip for escaped form: " << escape_log_value(value);
+  }
+}
+
+TEST(LogFormat, FullLinesRoundTripThroughParse) {
+  const auto line = format_log_line(
+      LogLevel::kInfo, "stage.done",
+      {{"stage", "a b"},
+       {"detail", "x=1\ny=\"2\""},
+       {"weird", std::string("nul\0ctrl\x02", 9)},
+       {"plain", "ok"}});
+  const auto fields = parse_log_line(line);
+  ASSERT_GE(fields.size(), 7u);  // ts, level, event + the four above
+  auto value_of = [&](std::string_view key) -> std::string {
+    for (const auto& f : fields)
+      if (f.key == key) return f.value;
+    return "<missing>";
+  };
+  EXPECT_EQ(value_of("level"), "info");
+  EXPECT_EQ(value_of("event"), "stage.done");
+  EXPECT_EQ(value_of("stage"), "a b");
+  EXPECT_EQ(value_of("detail"), "x=1\ny=\"2\"");
+  EXPECT_EQ(value_of("weird"), std::string("nul\0ctrl\x02", 9));
+  EXPECT_EQ(value_of("plain"), "ok");
+}
+
+TEST(LogFormat, ParseHandlesUnquotedAndQuotedMix) {
+  const auto fields = parse_log_line("a=1 b=\"x y\" c=z");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0].key, "a");
+  EXPECT_EQ(fields[0].value, "1");
+  EXPECT_EQ(fields[1].value, "x y");
+  EXPECT_EQ(fields[2].value, "z");
+}
+
 TEST(LogFormat, LineContainsLevelEventAndFields) {
   const auto line = format_log_line(
       LogLevel::kInfo, "stage.done",

@@ -238,6 +238,100 @@ TEST(MetricsRegistry, SnapshotJsonContainsRegisteredMetrics) {
   EXPECT_NE(json.find("{\"le\":1,\"count\":1}"), std::string::npos);
 }
 
+TEST(Histogram, ObserveNMatchesRepeatedObserve) {
+  Histogram repeated({1.0, 2.0, 4.0});
+  for (int i = 0; i < 7; ++i) repeated.observe(1.5);
+  Histogram batched({1.0, 2.0, 4.0});
+  batched.observe_n(1.5, 7);
+  EXPECT_EQ(batched.count(), repeated.count());
+  EXPECT_DOUBLE_EQ(batched.sum(), repeated.sum());
+  EXPECT_EQ(batched.bucket_counts(), repeated.bucket_counts());
+}
+
+TEST(Histogram, BatchFlushMatchesDirectObserve) {
+  Histogram direct({1.0, 2.0, 4.0});
+  Histogram via_batch({1.0, 2.0, 4.0});
+  const double values[] = {0.5, 1.0, 1.5, 3.0, 9.0, 9.0};
+  for (const double v : values) direct.observe(v);
+  {
+    HistogramBatch batch(via_batch);
+    for (const double v : values) batch.observe(v);
+    EXPECT_EQ(batch.pending(), 6u);
+    EXPECT_EQ(via_batch.count(), 0u);  // nothing shared until flush
+  }  // destructor flushes
+  EXPECT_EQ(via_batch.count(), direct.count());
+  EXPECT_DOUBLE_EQ(via_batch.sum(), direct.sum());
+  EXPECT_EQ(via_batch.bucket_counts(), direct.bucket_counts());
+}
+
+TEST(Histogram, Pow2MinuteBucketAgreesWithBucketOf) {
+  Histogram h(pow2_minute_buckets());
+  for (std::uint64_t m : {0ull, 1ull, 2ull, 3ull, 4ull, 5ull, 63ull, 64ull,
+                          65ull, 1000ull, 65536ull, 65537ull, 1000000ull}) {
+    EXPECT_EQ(pow2_minute_bucket(m), h.bucket_of(static_cast<double>(m)))
+        << "disagreement at " << m << " minutes";
+  }
+}
+
+TEST(MetricsRegistry, SnapshotJsonOrderingIsSortedByName) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.order.zz").add(1);
+  registry.counter("test.order.aa").add(1);
+  registry.counter("test.order.mm").add(1);
+  const auto json = registry.snapshot_json();
+  const auto aa = json.find("\"test.order.aa\"");
+  const auto mm = json.find("\"test.order.mm\"");
+  const auto zz = json.find("\"test.order.zz\"");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(mm, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, mm);
+  EXPECT_LT(mm, zz);
+}
+
+TEST(MetricsRegistry, PrometheusSnapshotRendersEveryKind) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.prom.counter").add(3);
+  auto& gauge = registry.gauge("test.prom.gauge");
+  gauge.reset();
+  gauge.set(9);
+  auto& hist = registry.histogram("test.prom.hist", {1.0, 10.0});
+  hist.reset();
+  hist.observe(0.5);
+  hist.observe(100.0);
+
+  const auto text = registry.snapshot_prometheus();
+  // Dots sanitize to underscores; the exposition is line-oriented.
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter 3\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge 9\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge_max 9\n"), std::string::npos);
+  // Cumulative buckets: le="10" holds everything <= 10, +Inf everything.
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusSnapshotIsGloballySorted) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.promsort.later").add(1);
+  registry.gauge("test.promsort.earlier").set(1);
+  const auto text = registry.snapshot_prometheus();
+  const auto earlier = text.find("test_promsort_earlier");
+  const auto later = text.find("test_promsort_later");
+  ASSERT_NE(earlier, std::string::npos);
+  ASSERT_NE(later, std::string::npos);
+  // Sorted by exposed name across kinds, not grouped counters-then-gauges.
+  EXPECT_LT(earlier, later);
+  // Deterministic: two snapshots of unchanged metrics are identical.
+  EXPECT_EQ(text, registry.snapshot_prometheus());
+}
+
 TEST(MetricsRegistry, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(json_escape("plain"), "plain");
   EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
