@@ -20,6 +20,12 @@
 //   --pause-ms=N            sleep between rounds (default 500)
 //   --metrics-interval-ms=N periodic metrics scrape cadence (default off)
 //   --metrics-jsonl=PATH    scrape destination (JSONL, appended)
+//   --trace=PATH            replay this trace file (.csv or .ctb/.bin)
+//                           instead of a synthetic feed; one pass,
+//                           out-of-core (README "Full-scale ingest")
+//   --offer                 with --trace on a columnar file: go through
+//                           offer_batch/drain instead of the fused bulk
+//                           ingest path
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -84,6 +90,8 @@ int main(int argc, char** argv) {
   std::size_t n_records = 1'000'000;
   std::size_t rounds = 4;
   std::size_t pause_ms = 500;
+  std::string trace_path;
+  bool bulk = true;
   ReplayOptions options;
   options.skew_window = 64;
   options.late_fraction = 0.01;
@@ -108,6 +116,10 @@ int main(int argc, char** argv) {
       options.metrics_interval_ms = static_cast<std::uint32_t>(v);
     else if (arg.starts_with("--metrics-jsonl="))
       options.metrics_jsonl_path = arg.substr(16);
+    else if (arg.starts_with("--trace="))
+      trace_path = arg.substr(8);
+    else if (arg == "--offer")
+      bulk = false;
     else if (arg.starts_with("--late="))
       options.late_fraction = std::strtod(arg.substr(7).data(), nullptr);
     else {
@@ -133,6 +145,29 @@ int main(int argc, char** argv) {
 
   ThreadPool pool(configured_thread_count());
   StreamIngestor ingestor(StreamConfig::from_env());
+
+  if (!trace_path.empty()) {
+    // File replay: one out-of-core pass through the codec layer; the
+    // whole trace never materializes in memory.
+    FileReplayOptions file_options;
+    file_options.bulk = bulk;
+    file_options.batch_size = options.batch_size;
+    file_options.classify_every_batches = options.classify_every_batches;
+    const ReplayStats stats = replay_trace_file(trace_path, ingestor, pool,
+                                                file_options, &classifier);
+    const IngestStats ingest = stats.ingest;
+    std::cout << trace_path << ": " << stats.records << " records in "
+              << stats.wall_ms << " ms ("
+              << static_cast<std::uint64_t>(stats.records_per_sec)
+              << " rec/s, " << (bulk ? "bulk" : "offer")
+              << " path), watermark " << ingest.watermark_minute << " (low "
+              << ingest.low_watermark_minute << "), late " << ingest.late
+              << ", dropped " << ingest.dropped << ", classify passes "
+              << stats.classify_passes << "\n";
+    std::cout << "final shard view:\n" << ingestor.status_json() << "\n";
+    return 0;
+  }
+
   const auto base_logs =
       synthetic_logs(n_records, static_cast<std::uint32_t>(n_towers), 4321);
   constexpr std::uint64_t kGridMinutes =

@@ -72,6 +72,22 @@ std::vector<std::string> CsvReader::parse_line(const std::string& line) {
   return cells;
 }
 
+bool CsvReader::split_unquoted(std::string_view line,
+                               std::vector<std::string_view>& cells) {
+  cells.clear();
+  if (line.find('"') != std::string_view::npos) return false;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', begin);
+    if (comma == std::string_view::npos) {
+      cells.push_back(line.substr(begin));
+      return true;
+    }
+    cells.push_back(line.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+}
+
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string out = "\"";

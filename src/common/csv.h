@@ -8,6 +8,7 @@
 
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cellscope {
@@ -41,6 +42,15 @@ class CsvReader {
 
   /// Parses a single CSV line.
   static std::vector<std::string> parse_line(const std::string& line);
+
+  /// Zero-allocation tokenizer for the common case of a line with no
+  /// quoted fields: splits `line` on commas into views over its bytes
+  /// (valid only while `line`'s storage lives). Returns false — with
+  /// `cells` unspecified — when the line contains a '"', in which case
+  /// callers must fall back to parse_line. For quote-free lines the
+  /// result matches parse_line cell for cell.
+  static bool split_unquoted(std::string_view line,
+                             std::vector<std::string_view>& cells);
 };
 
 /// Quotes a cell if needed per RFC 4180.

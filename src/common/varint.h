@@ -1,0 +1,69 @@
+// LEB128 varints and zigzag transforms for the columnar trace format.
+//
+// The binary trace (traffic/columnar.h) stores its time columns as
+// zigzag-delta varints: a time-ordered trace has tiny deltas, so most
+// values fit in one byte. Encoding appends to a std::string (the chunk
+// payload under construction); decoding reads from a bounds-checked
+// [cursor, end) byte range and never walks past `end` — a truncated or
+// bit-flipped payload yields a clean failure, not UB, which is what the
+// corrupt-chunk skip-and-count contract relies on.
+//
+// Header-only: every call site is a hot ingest/encode loop and these
+// compile to a handful of instructions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cellscope {
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (7 bits per
+/// byte, high bit = continuation; 1..10 bytes).
+inline void varint_encode(std::uint64_t value, std::string& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+/// Decodes an unsigned LEB128 varint from [*cursor, end). On success
+/// stores the value, advances *cursor past it, and returns true. Returns
+/// false — leaving *cursor unspecified — when the buffer ends inside the
+/// varint or the encoding exceeds 10 bytes (64 payload bits).
+inline bool varint_decode(const unsigned char** cursor,
+                          const unsigned char* end, std::uint64_t& value) {
+  const unsigned char* p = *cursor;
+  // Single-byte fast path: the overwhelmingly common case for the delta
+  // columns (small deltas) and for byte counts under 128.
+  if (p < end && *p < 0x80) {
+    value = *p;
+    *cursor = p + 1;
+    return true;
+  }
+  std::uint64_t out = 0;
+  for (unsigned shift = 0; shift < 64 && p < end; shift += 7) {
+    const std::uint64_t byte = *p++;
+    out |= (byte & 0x7f) << shift;
+    if (byte < 0x80) {
+      value = out;
+      *cursor = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Zigzag: maps signed deltas to small unsigned values (0, -1, 1, -2 →
+/// 0, 1, 2, 3) so varint_encode stores either direction compactly.
+inline std::uint64_t zigzag_encode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+}  // namespace cellscope

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 #include "common/error.h"
 #include "obs/introspect.h"
@@ -213,6 +214,182 @@ std::size_t StreamIngestor::offer_batch(std::span<const TrafficLog> logs) {
   return total_accepted;
 }
 
+void StreamIngestor::rebuild_window_index(Shard& shard) {
+  std::size_t cap = 8;
+  while (cap < shard.windows.size() * 2) cap <<= 1;
+  shard.window_index.assign(
+      cap, {0, std::numeric_limits<std::uint32_t>::max()});
+  const std::size_t mask = cap - 1;
+  for (std::size_t pos = 0; pos < shard.windows.size(); ++pos) {
+    std::size_t slot =
+        (shard.windows[pos].first * 2654435761u) & mask;
+    while (shard.window_index[slot].second !=
+           std::numeric_limits<std::uint32_t>::max())
+      slot = (slot + 1) & mask;
+    shard.window_index[slot] = {shard.windows[pos].first,
+                                static_cast<std::uint32_t>(pos)};
+  }
+  shard.window_index_size = shard.windows.size();
+}
+
+void StreamIngestor::create_windows(
+    Shard& shard, const std::vector<std::uint32_t>& towers) {
+  const std::size_t old_count = shard.windows.size();
+  // Appends stay sorted because `towers` is sorted and distinct.
+  for (const std::uint32_t id : towers)
+    shard.windows.emplace_back(id, TowerWindow());
+  std::inplace_merge(
+      shard.windows.begin(), shard.windows.begin() + old_count,
+      shard.windows.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  rebuild_window_index(shard);
+}
+
+std::uint32_t StreamIngestor::window_position(const Shard& shard,
+                                              std::uint32_t tower_id) const {
+  const std::size_t mask = shard.window_index.size() - 1;
+  std::size_t slot = (tower_id * 2654435761u) & mask;
+  for (;;) {
+    const auto& entry = shard.window_index[slot];
+    if (entry.second == std::numeric_limits<std::uint32_t>::max())
+      return std::numeric_limits<std::uint32_t>::max();
+    if (entry.first == tower_id) return entry.second;
+    slot = (slot + 1) & mask;
+  }
+}
+
+std::size_t StreamIngestor::ingest_columns(const DecodedColumns& cols) {
+  const std::size_t n = cols.size();
+  if (n == 0) return 0;
+  obs::HistogramBatch lag(*metric_event_lag_);
+  const double offered_us = obs::now_us();
+  offered_.fetch_add(n, std::memory_order_relaxed);
+  metric_offered_->add(n);
+
+  // Watermark/lateness/lag accounting with sequential-arrival semantics,
+  // fused into one pass: `observed` carries the global watermark exactly
+  // as each record would have seen it had the batch been offered
+  // record-by-record (excluding the record's own update).
+  std::uint64_t observed = watermark_minute_.load(std::memory_order_relaxed);
+  std::uint64_t late = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t start = cols.start[i];
+    const std::uint64_t end = cols.end[i];
+    const std::uint64_t lag_minutes = observed > start ? observed - start : 0;
+    lag.observe_bucket(obs::pow2_minute_bucket(lag_minutes),
+                       static_cast<double>(lag_minutes));
+    if (start + config_.max_lateness_minutes < observed) ++late;
+    if (end > observed) observed = end;
+  }
+  std::uint64_t seen = watermark_minute_.load(std::memory_order_relaxed);
+  while (observed > seen &&
+         !watermark_minute_.compare_exchange_weak(seen, observed,
+                                                  std::memory_order_relaxed)) {
+  }
+  if (late > 0) {
+    late_.fetch_add(late, std::memory_order_relaxed);
+    metric_late_->add(late);
+  }
+
+  // Scatter record positions by shard (counting sort keeps this one
+  // allocation-light linear pass), then apply each shard's run under its
+  // window lock.
+  const std::size_t n_shards = shards_.size();
+  std::vector<std::uint32_t> order;
+  std::vector<std::size_t> begins;  // per-shard [begin, end) into order
+  if (n_shards > 1) {
+    std::vector<std::size_t> counts(n_shards, 0);
+    for (std::size_t i = 0; i < n; ++i) ++counts[cols.tower[i] % n_shards];
+    begins.resize(n_shards + 1, 0);
+    for (std::size_t s = 0; s < n_shards; ++s)
+      begins[s + 1] = begins[s] + counts[s];
+    order.resize(n);
+    std::vector<std::size_t> cursor(begins.begin(), begins.end() - 1);
+    for (std::size_t i = 0; i < n; ++i)
+      order[cursor[cols.tower[i] % n_shards]++] =
+          static_cast<std::uint32_t>(i);
+  }
+
+  const std::uint64_t stamp = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(offered_us));
+  std::uint64_t stale_total = 0;
+  // Per-shard scratch, reused across shards: per-record window positions
+  // and the (usually empty) list of towers still missing a window.
+  std::vector<std::uint32_t> pos;
+  std::vector<std::uint32_t> missing;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    const std::size_t begin = n_shards > 1 ? begins[s] : 0;
+    const std::size_t end = n_shards > 1 ? begins[s + 1] : n;
+    if (begin == end) continue;
+    const std::size_t len = end - begin;
+    Shard& shard = *shards_[s];
+    std::uint64_t shard_max_end = 0;
+    std::uint64_t stale = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.window_mutex);
+      if (shard.window_index_size != shard.windows.size() ||
+          shard.window_index.empty())
+        rebuild_window_index(shard);
+      // Resolve every record's window position first, collecting towers
+      // that still need one. In steady state `missing` stays empty and
+      // this is a single O(1) probe per record; on a cold start the
+      // misses are created in one batch (append + merge + one index
+      // rebuild) instead of a per-tower middle-insert + full rebuild,
+      // which made first-chunk ingest quadratic at city scale.
+      pos.resize(len);
+      missing.clear();
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::uint32_t p =
+            window_position(shard, cols.tower[n_shards > 1 ? order[k] : k]);
+        pos[k - begin] = p;
+        if (p == std::numeric_limits<std::uint32_t>::max())
+          missing.push_back(cols.tower[n_shards > 1 ? order[k] : k]);
+      }
+      if (!missing.empty()) {
+        std::sort(missing.begin(), missing.end());
+        missing.erase(std::unique(missing.begin(), missing.end()),
+                      missing.end());
+        create_windows(shard, missing);
+        // The merge shifted existing windows too — re-resolve them all.
+        for (std::size_t k = begin; k < end; ++k)
+          pos[k - begin] =
+              window_position(shard, cols.tower[n_shards > 1 ? order[k] : k]);
+      }
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::size_t i = n_shards > 1 ? order[k] : k;
+        TowerWindow& window = shard.windows[pos[k - begin]].second;
+        if (window.add(cols.start[i], cols.bytes[i]) ==
+            TowerWindow::Apply::kStale)
+          ++stale;
+        if (cols.end[i] > shard_max_end) shard_max_end = cols.end[i];
+      }
+    }
+    std::uint64_t shard_seen =
+        shard.watermark_minute.load(std::memory_order_relaxed);
+    while (shard_max_end > shard_seen &&
+           !shard.watermark_minute.compare_exchange_weak(
+               shard_seen, shard_max_end, std::memory_order_relaxed)) {
+    }
+    const double applied_us = obs::now_us();
+    metric_apply_ms_->observe_n((applied_us - offered_us) / 1000.0,
+                                end - begin);
+    std::uint64_t oldest =
+        shard.oldest_unclassified_us.load(std::memory_order_relaxed);
+    while ((oldest == 0 || stamp < oldest) &&
+           !shard.oldest_unclassified_us.compare_exchange_weak(
+               oldest, stamp, std::memory_order_relaxed)) {
+    }
+    stale_total += stale;
+  }
+  accepted_.fetch_add(n, std::memory_order_relaxed);
+  metric_accepted_->add(n);
+  if (stale_total > 0) {
+    stale_.fetch_add(stale_total, std::memory_order_relaxed);
+    metric_stale_->add(stale_total);
+  }
+  return n;
+}
+
 void StreamIngestor::drain_shard(Shard& shard) {
   std::vector<Pending> batch;
   {
@@ -392,6 +569,17 @@ std::string StreamIngestor::status_json() const {
   json += ",\"late\":" + std::to_string(totals.late);
   json += ",\"stale\":" + std::to_string(totals.stale);
   json += ",\"pending\":" + std::to_string(pending());
+  // Trace-ingest IO counters (traffic/columnar.h): how the records got
+  // here — chunks decoded/skipped/corrupt and bytes mapped so far.
+  {
+    const auto& io = columnar::io_metrics();
+    json += ",\"io\":{\"chunks_read\":" +
+            std::to_string(io.chunks_read->value());
+    json += ",\"chunks_skipped\":" + std::to_string(io.chunks_skipped->value());
+    json += ",\"chunks_corrupt\":" + std::to_string(io.chunks_corrupt->value());
+    json += ",\"bytes_mapped\":" + std::to_string(io.bytes_mapped->value());
+    json += '}';
+  }
   json += ",\"shards\":[";
   bool first = true;
   for (const ShardStats& shard : shard_stats()) {

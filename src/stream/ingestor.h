@@ -46,6 +46,7 @@
 #include "city/tower.h"
 #include "mapred/thread_pool.h"
 #include "stream/tower_window.h"
+#include "traffic/columnar.h"
 #include "traffic/trace_record.h"
 
 namespace cellscope {
@@ -126,6 +127,19 @@ class StreamIngestor {
   /// were accepted. Thread-safe.
   std::size_t offer_batch(std::span<const TrafficLog> logs);
 
+  /// Fused bulk ingest for the columnar replay path: applies one decoded
+  /// chunk straight to the tower windows — no Pending copies, no queue,
+  /// no separate drain. Equivalent to offering the records in column
+  /// order and immediately draining: watermark, lateness, lag, stale,
+  /// and apply-latency accounting all match that sequence exactly (the
+  /// lag/late of record i is measured against the watermark as records
+  /// 0..i-1 left it). Because no queue is involved it never drops, so it
+  /// matches the offer path's counters whenever that path did not drop
+  /// (queue_capacity 0, or drains keeping up). Per-record trace sampling
+  /// is skipped — the bulk path never materializes user ids. Returns the
+  /// number of records applied. Thread-safe.
+  std::size_t ingest_columns(const DecodedColumns& cols);
+
   /// Drains every shard's pending queue into its windows, one pool task
   /// per shard via try_submit (rejected shards drain inline on the
   /// caller — backpressure). Blocks until every queued record at entry
@@ -205,6 +219,12 @@ class StreamIngestor {
     /// Sampled records applied but awaiting their classify span:
     /// (tower id, applied_us). Guarded by window_mutex; bounded.
     mutable std::vector<std::pair<std::uint32_t, double>> sampled_awaiting;
+    /// Open-address tower-id -> windows-position index for the bulk
+    /// ingest path ((tower, pos) slots, pos == UINT32_MAX empty); lazily
+    /// rebuilt whenever the window set changed. Guarded by window_mutex.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> window_index;
+    /// windows.size() the index was built for (0 = never built).
+    std::size_t window_index_size = 0;
   };
 
   Shard& shard_of(std::uint32_t tower_id) const {
@@ -213,6 +233,19 @@ class StreamIngestor {
   /// The tower's window within `shard`, created on first use. Caller
   /// holds shard.window_mutex.
   TowerWindow& window_in(Shard& shard, std::uint32_t tower_id);
+  /// Creates the windows of the (sorted, distinct, all-absent) `towers`
+  /// in one append + inplace_merge + single index rebuild — the bulk
+  /// path's cold-start move. A per-record window_in would middle-insert
+  /// into the sorted windows vector and invalidate the index on every new
+  /// tower: quadratic on a fresh ingestor at city scale. Caller holds
+  /// shard.window_mutex and guarantees none of `towers` exist yet.
+  void create_windows(Shard& shard, const std::vector<std::uint32_t>& towers);
+  /// O(1) expected windows-position lookup through the shard's
+  /// window_index; UINT32_MAX when the tower has no window yet. Caller
+  /// holds shard.window_mutex and the index is fresh.
+  std::uint32_t window_position(const Shard& shard,
+                                std::uint32_t tower_id) const;
+  void rebuild_window_index(Shard& shard);
   void drain_shard(Shard& shard);
   /// Watermark/lateness/lag accounting shared by the offer paths:
   /// advances the global and shard watermarks, counts lateness, and

@@ -150,4 +150,99 @@ ReplayStats replay_trace(const std::vector<TrafficLog>& logs,
   return stats;
 }
 
+ReplayStats replay_trace_file(const std::string& path,
+                              StreamIngestor& ingestor, ThreadPool& pool,
+                              const FileReplayOptions& options,
+                              const OnlineClassifier* classifier) {
+  CS_CHECK_MSG(options.batch_size >= 1, "batch_size must be positive");
+  TraceCodec codec = options.codec == TraceCodec::kAuto
+                         ? trace_codec_for_path(path)
+                         : options.codec;
+  ReplayStats stats;
+  obs::ScopedTimer timer;
+  {
+    obs::StageSpan span("stream.replay", "stream");
+    const auto classify_tick = [&] {
+      if (classifier != nullptr && options.classify_every_batches > 0 &&
+          stats.batches % options.classify_every_batches == 0) {
+        stats.labels = classifier->classify_all(ingestor, &pool);
+        ++stats.classify_passes;
+      }
+    };
+
+    if (codec == TraceCodec::kCsv) {
+      auto reader =
+          open_trace_reader(path, TraceCodec::kCsv, options.batch_size);
+      std::vector<TrafficLog> batch;
+      while (reader->next_batch(batch)) {
+        ingestor.offer_batch(batch);
+        ingestor.drain(pool);
+        stats.records += batch.size();
+        ++stats.batches;
+        classify_tick();
+      }
+    } else {
+      // Columnar: one chunk per round, decoded straight out of the
+      // mapping; the footer ranges prune chunks the filter rules out.
+      MmapTraceReader reader(path);
+      DecodedColumns cols;
+      std::vector<TrafficLog> chunk;
+      std::size_t skipped = 0;
+      for (std::size_t i = 0; i < reader.chunk_count(); ++i) {
+        if (!reader.chunk_overlaps(i, options.filter)) {
+          columnar::io_metrics().chunks_skipped->add(1);
+          ++skipped;
+          continue;
+        }
+        if (options.bulk) {
+          if (!reader.read_chunk_columns(i, cols)) continue;  // corrupt
+          stats.records += ingestor.ingest_columns(cols);
+        } else {
+          if (!reader.read_chunk(i, chunk)) continue;  // corrupt
+          ingestor.offer_batch(chunk);
+          ingestor.drain(pool);
+          stats.records += chunk.size();
+        }
+        ++stats.batches;
+        classify_tick();
+      }
+      span.annotate({"chunks_skipped", skipped});
+    }
+    if (classifier != nullptr) {
+      stats.labels = classifier->classify_all(ingestor, &pool);
+      ++stats.classify_passes;
+    }
+
+    auto& board = obs::QualityBoard::instance();
+    const auto ingest = ingestor.stats();
+    board.add_check(
+        "stream.replay", "stream_drop_ratio", obs::Severity::kFail,
+        [dropped = ingest.dropped, offered = ingest.offered] {
+          return obs::check_reject_ratio(
+              static_cast<std::size_t>(dropped),
+              static_cast<std::size_t>(offered), 0.01);
+        });
+    board.add_check(
+        "stream.replay", "stream_late_ratio", obs::Severity::kWarn,
+        [late = ingest.late, offered = ingest.offered] {
+          return obs::check_reject_ratio(static_cast<std::size_t>(late),
+                                         static_cast<std::size_t>(offered),
+                                         0.25);
+        });
+    span.annotate({"path", path});
+    span.annotate({"records", stats.records});
+    span.annotate({"batches", stats.batches});
+    span.annotate({"dropped", ingest.dropped});
+    span.annotate({"late", ingest.late});
+  }
+
+  stats.ingest = ingestor.stats();
+  stats.wall_ms = timer.elapsed_ms();
+  stats.records_per_sec =
+      stats.wall_ms > 0.0
+          ? static_cast<double>(stats.records) / (stats.wall_ms / 1e3)
+          : 0.0;
+  return stats;
+}
+
 }  // namespace cellscope

@@ -19,6 +19,8 @@
 #include "mapred/thread_pool.h"
 #include "stream/ingestor.h"
 #include "stream/online_classifier.h"
+#include "traffic/trace_codec.h"
+#include "traffic/trace_mmap.h"
 #include "traffic/trace_record.h"
 
 namespace cellscope {
@@ -76,5 +78,38 @@ ReplayStats replay_trace(const std::vector<TrafficLog>& logs,
                          StreamIngestor& ingestor, ThreadPool& pool,
                          const ReplayOptions& options = {},
                          const OnlineClassifier* classifier = nullptr);
+
+/// Knobs for replaying straight from a trace file (out-of-core: only one
+/// batch / chunk of records is resident at a time).
+struct FileReplayOptions {
+  /// Backend; kAuto routes by extension. Columnar inputs always replay
+  /// through the mapped reader (kBinary is treated as kMmap here).
+  TraceCodec codec = TraceCodec::kAuto;
+  /// Columnar inputs: apply decoded chunks via ingest_columns (the fused
+  /// bulk path — no queue, no drain, user/address columns never decoded).
+  /// When false, chunks go through offer_batch + drain like any other
+  /// producer. CSV inputs always use the offer path.
+  bool bulk = true;
+  /// Records per offer_batch round on the CSV/offer path.
+  std::size_t batch_size = 8192;
+  /// Run classifier.classify_all every this many batches/chunks (0 =
+  /// only the final pass).
+  std::size_t classify_every_batches = 0;
+  /// Columnar inputs: chunks whose footer tower/minute ranges cannot
+  /// overlap this filter are skipped wholesale (counted on
+  /// cellscope.io.chunks_skipped) — coarse, chunk-granular pruning;
+  /// records of any chunk that overlaps all apply. Defaults pass all.
+  ChunkFilter filter{};
+};
+
+/// Streams a trace file through the ingestor via the codec layer —
+/// the full-scale ingest path. Corrupt chunks / malformed CSV lines are
+/// skipped and counted per the codec contract. Registers the same
+/// stream.replay sentinels as replay_trace. Throws IoError when the file
+/// cannot be opened or its structure is invalid.
+ReplayStats replay_trace_file(const std::string& path,
+                              StreamIngestor& ingestor, ThreadPool& pool,
+                              const FileReplayOptions& options = {},
+                              const OnlineClassifier* classifier = nullptr);
 
 }  // namespace cellscope

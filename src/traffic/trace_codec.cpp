@@ -1,0 +1,457 @@
+#include "traffic/trace_codec.h"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/quality.h"
+#include "obs/timer.h"
+#include "traffic/columnar.h"
+#include "traffic/trace_mmap.h"
+
+namespace cellscope {
+
+namespace {
+
+const char* kCsvHeader[] = {"user_id",   "tower_id", "start_minute",
+                            "end_minute", "bytes",    "address"};
+
+/// Reject ratio above which a trace file is considered corrupt — the
+/// paper's trace loses well under 1% of lines to formatting defects.
+constexpr double kMaxRejectRatio = 0.01;
+
+constexpr std::uint64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
+
+/// Digits-only u64 parse matching the legacy strtoull semantics: rejects
+/// empty, signed, or non-numeric fields; saturates on 64-bit overflow.
+bool parse_u64_field(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (c < '0' || c > '9') return false;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (res.ec == std::errc::result_out_of_range)
+    out = std::numeric_limits<std::uint64_t>::max();
+  return true;
+}
+
+bool fill_log(const std::string_view* cells, TrafficLog& log) {
+  std::uint64_t tower = 0;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  if (!parse_u64_field(cells[0], log.user_id) ||
+      !parse_u64_field(cells[1], tower) || !parse_u64_field(cells[2], start) ||
+      !parse_u64_field(cells[3], end) || !parse_u64_field(cells[4], log.bytes) ||
+      // Out-of-range: ids/minutes that overflow their 32-bit fields, or
+      // an interval violating the half-open end >= start contract.
+      tower > kU32Max || start > kU32Max || end > kU32Max || end < start)
+    return false;
+  log.tower_id = static_cast<std::uint32_t>(tower);
+  log.start_minute = static_cast<std::uint32_t>(start);
+  log.end_minute = static_cast<std::uint32_t>(end);
+  log.address.assign(cells[5].data(), cells[5].size());
+  return true;
+}
+
+/// Parses one data line. The quote-free common case tokenizes into views
+/// over `line` with zero allocations; quoted lines fall back to the
+/// RFC-4180 parser. `cells` is caller-owned scratch reused across lines.
+bool parse_trace_line(const std::string& line, TrafficLog& log,
+                      std::vector<std::string_view>& cells) {
+  if (CsvReader::split_unquoted(line, cells)) {
+    if (cells.size() != 6) return false;
+    return fill_log(cells.data(), log);
+  }
+  const std::vector<std::string> slow = CsvReader::parse_line(line);
+  if (slow.size() != 6) return false;
+  cells.clear();
+  for (const std::string& cell : slow) cells.emplace_back(cell);
+  return fill_log(cells.data(), log);
+}
+
+/// Per-file accounting shared by the binary backends, recorded once at
+/// end of stream: read/record counters plus a corrupt-chunk quality
+/// verdict (the binary analogue of the CSV trace_reject_ratio).
+void record_binary_trace_read(std::optional<obs::StageSpan>& span,
+                              std::size_t records, std::size_t chunks,
+                              std::size_t corrupt) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("cellscope.io.trace_reads").add(1);
+  registry.counter("cellscope.io.trace_records").add(records);
+  if (span) {
+    span->annotate({"records", records});
+    span->annotate({"chunks", chunks});
+    span->annotate({"corrupt_chunks", corrupt});
+  }
+  if (chunks > 0) {
+    auto result = obs::check_reject_ratio(corrupt, chunks, kMaxRejectRatio);
+    obs::QualityBoard::instance().record(
+        {.check = "trace_chunk_corrupt_ratio",
+         .stage = "io.read_trace",
+         .severity = obs::Severity::kFail,
+         .passed = result.passed,
+         .value = result.value,
+         .detail = std::move(result.detail)});
+  }
+  span.reset();
+}
+
+/// Streaming CSV reader — the line-at-a-time successor of the legacy
+/// whole-file read_trace_csv, with identical reject accounting: the same
+/// counters, span annotations, and trace_reject_ratio verdict, recorded
+/// once when the stream is exhausted (or the reader is destroyed).
+class CsvTraceReader final : public TraceReader {
+ public:
+  CsvTraceReader(const std::string& path, std::size_t batch_records)
+      : batch_records_(batch_records == 0 ? 1 : batch_records) {
+    if (CS_FAILPOINT("trace.read.fail"))
+      throw IoError("failpoint trace.read.fail: refusing to read " + path);
+    span_.emplace("io.read_trace", "io", obs::LogLevel::kDebug);
+    in_.open(path);
+    if (!in_) throw IoError("cannot open for reading: " + path);
+  }
+
+  ~CsvTraceReader() override { finalize(); }
+
+  bool next_batch(std::vector<TrafficLog>& out) override {
+    out.clear();
+    if (done_) return false;
+    if (out.capacity() < batch_records_) out.reserve(batch_records_);
+    while (out.size() < batch_records_ && std::getline(in_, line_)) {
+      if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+      if (!header_seen_) {  // first line is the column header
+        header_seen_ = true;
+        continue;
+      }
+      ++data_lines_;
+      TrafficLog log;
+      if (parse_trace_line(line_, log, cells_))
+        out.push_back(std::move(log));
+      else
+        ++rejected_;
+    }
+    if (out.empty()) {
+      done_ = true;
+      finalize();
+      return false;
+    }
+    records_ += out.size();
+    return true;
+  }
+
+ private:
+  void finalize() {
+    if (finalized_) return;
+    finalized_ = true;
+    if (!header_seen_) {  // a file with no lines at all records nothing
+      span_.reset();
+      return;
+    }
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("cellscope.io.trace_reads").add(1);
+    registry.counter("cellscope.io.trace_records").add(records_);
+    if (span_) {
+      span_->annotate({"records", records_});
+      span_->annotate({"rejected", rejected_});
+    }
+    if (rejected_ > 0)
+      registry.counter("cellscope.io.rejected_lines").add(rejected_);
+    if (data_lines_ > 0) {
+      auto result =
+          obs::check_reject_ratio(rejected_, data_lines_, kMaxRejectRatio);
+      obs::QualityBoard::instance().record(
+          {.check = "trace_reject_ratio",
+           .stage = "io.read_trace",
+           .severity = obs::Severity::kFail,
+           .passed = result.passed,
+           .value = result.value,
+           .detail = std::move(result.detail)});
+    }
+    span_.reset();
+  }
+
+  std::size_t batch_records_;
+  std::optional<obs::StageSpan> span_;
+  std::ifstream in_;
+  std::string line_;
+  std::vector<std::string_view> cells_;
+  bool header_seen_ = false;
+  bool done_ = false;
+  bool finalized_ = false;
+  std::size_t data_lines_ = 0;
+  std::size_t records_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+/// Sequential columnar reader over buffered file reads — the no-mmap
+/// fallback. Reads the footer index up front (so corruption recovery and
+/// chunk accounting match the mapped reader), then streams chunk frames
+/// through one reused buffer.
+class BinTraceReader final : public TraceReader {
+ public:
+  explicit BinTraceReader(const std::string& path) : path_(path) {
+    if (CS_FAILPOINT("trace.read.fail"))
+      throw IoError("failpoint trace.read.fail: refusing to read " + path);
+    in_.open(path, std::ios::binary);
+    if (!in_) throw IoError("cannot open for reading: " + path);
+    in_.seekg(0, std::ios::end);
+    const auto end_pos = in_.tellg();
+    if (end_pos < 0) throw IoError("cannot stat: " + path);
+    const std::uint64_t size = static_cast<std::uint64_t>(end_pos);
+
+    constexpr std::size_t kMinTail =
+        columnar::kFooterHeaderBytes + 4 + columnar::kTrailerBytes;
+    if (size < columnar::kHeaderBytes + kMinTail)
+      throw IoError("bad columnar trace header: " + path +
+                    " (file too small)");
+    unsigned char header[columnar::kHeaderBytes];
+    read_at(0, header, sizeof(header));
+    if (!columnar::check_header(header, sizeof(header)))
+      throw IoError("bad columnar trace header: " + path);
+
+    unsigned char trailer[columnar::kTrailerBytes];
+    read_at(size - columnar::kTrailerBytes, trailer, sizeof(trailer));
+    std::uint64_t footer_offset = 0;
+    if (!columnar::read_trailer(trailer, footer_offset))
+      throw IoError("bad columnar trace footer: " + path +
+                    " (bad trailer magic)");
+    if (footer_offset < columnar::kHeaderBytes ||
+        footer_offset > size - kMinTail)
+      throw IoError("bad columnar trace footer: " + path +
+                    " (footer offset out of bounds)");
+    std::vector<unsigned char> region(size - footer_offset);
+    read_at(footer_offset, region.data(), region.size());
+    std::string error;
+    if (!columnar::parse_footer_region(region.data(), region.size(),
+                                       footer_offset, index_, error))
+      throw IoError("bad columnar trace footer: " + path + " (" + error + ")");
+    for (const auto& entry : index_) record_count_ += entry.n_records;
+    span_.emplace("io.read_trace", "io", obs::LogLevel::kDebug);
+  }
+
+  ~BinTraceReader() override { finalize(); }
+
+  bool next_batch(std::vector<TrafficLog>& out) override {
+    out.clear();
+    auto& metrics = columnar::io_metrics();
+    while (next_chunk_ < index_.size()) {
+      const std::size_t i = next_chunk_++;
+      const auto& entry = index_[i];
+      frame_.resize(entry.frame_len());
+      read_at(entry.offset, frame_.data(), frame_.size());
+      bool ok;
+      {
+        obs::ScopedTimer timer(metrics.decode_ms);
+        ok = columnar::decode_chunk_records(frame_.data(), frame_.size(), out);
+      }
+      if (!ok) {  // skip-and-count, same contract as the mapped reader
+        metrics.chunks_corrupt->add(1);
+        obs::log_warn("io.chunk_corrupt",
+                      {{"path", path_}, {"chunk", i}, {"mode", "records"}});
+        ++corrupt_;
+        out.clear();
+        continue;
+      }
+      metrics.chunks_read->add(1);
+      records_ += out.size();
+      return true;
+    }
+    finalize();
+    return false;
+  }
+
+  std::optional<std::uint64_t> record_count() const override {
+    return record_count_;
+  }
+
+ private:
+  void read_at(std::uint64_t offset, unsigned char* buf, std::size_t n) {
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(offset));
+    in_.read(reinterpret_cast<char*>(buf), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n)
+      throw IoError("short read in columnar trace: " + path_);
+  }
+
+  void finalize() {
+    if (finalized_) return;
+    finalized_ = true;
+    record_binary_trace_read(span_, records_, index_.size(), corrupt_);
+  }
+
+  std::string path_;
+  std::ifstream in_;
+  std::vector<columnar::ChunkIndexEntry> index_;
+  std::vector<unsigned char> frame_;
+  std::optional<obs::StageSpan> span_;
+  std::uint64_t record_count_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t records_ = 0;
+  std::size_t corrupt_ = 0;
+  bool finalized_ = false;
+};
+
+/// Batch adapter over the mapped reader: one chunk per batch, decoded
+/// straight out of the mapping.
+class MmapBatchReader final : public TraceReader {
+ public:
+  explicit MmapBatchReader(const std::string& path) : reader_(path) {
+    span_.emplace("io.read_trace", "io", obs::LogLevel::kDebug);
+  }
+
+  ~MmapBatchReader() override { finalize(); }
+
+  bool next_batch(std::vector<TrafficLog>& out) override {
+    out.clear();
+    while (next_chunk_ < reader_.chunk_count()) {
+      const std::size_t i = next_chunk_++;
+      if (reader_.read_chunk(i, out)) {
+        records_ += out.size();
+        return true;
+      }
+      ++corrupt_;
+    }
+    finalize();
+    return false;
+  }
+
+  std::optional<std::uint64_t> record_count() const override {
+    return reader_.record_count();
+  }
+
+ private:
+  void finalize() {
+    if (finalized_) return;
+    finalized_ = true;
+    record_binary_trace_read(span_, records_, reader_.chunk_count(), corrupt_);
+  }
+
+  MmapTraceReader reader_;
+  std::optional<obs::StageSpan> span_;
+  std::size_t next_chunk_ = 0;
+  std::size_t records_ = 0;
+  std::size_t corrupt_ = 0;
+  bool finalized_ = false;
+};
+
+class CsvTraceWriter final : public TraceWriter {
+ public:
+  explicit CsvTraceWriter(const std::string& path) {
+    if (CS_FAILPOINT("trace.write.fail"))
+      throw IoError("failpoint trace.write.fail: refusing to write " + path);
+    writer_.emplace(path);
+    writer_->write_row(
+        std::vector<std::string>(std::begin(kCsvHeader), std::end(kCsvHeader)));
+  }
+
+  void append(std::span<const TrafficLog> logs) override {
+    for (const TrafficLog& log : logs) {
+      writer_->write_row({std::to_string(log.user_id),
+                          std::to_string(log.tower_id),
+                          std::to_string(log.start_minute),
+                          std::to_string(log.end_minute),
+                          std::to_string(log.bytes), log.address});
+    }
+  }
+
+  void finish() override { writer_->close(); }
+
+ private:
+  std::optional<CsvWriter> writer_;
+};
+
+class BinTraceWriter final : public TraceWriter {
+ public:
+  BinTraceWriter(const std::string& path, std::size_t chunk_records)
+      : writer_(path, chunk_records) {}
+
+  void append(std::span<const TrafficLog> logs) override {
+    writer_.append(logs);
+  }
+
+  void finish() override { writer_.finish(); }
+
+ private:
+  ColumnarTraceWriter writer_;
+};
+
+}  // namespace
+
+TraceCodec trace_codec_for_path(const std::string& path) {
+  const auto dot = path.find_last_of('.');
+  const std::string_view ext = dot == std::string::npos
+                                   ? std::string_view{}
+                                   : std::string_view(path).substr(dot + 1);
+  if (ext == "ctb" || ext == "bin") return TraceCodec::kMmap;
+  return TraceCodec::kCsv;
+}
+
+std::unique_ptr<TraceReader> open_trace_reader(const std::string& path,
+                                               TraceCodec codec,
+                                               std::size_t batch_records) {
+  if (codec == TraceCodec::kAuto) codec = trace_codec_for_path(path);
+  switch (codec) {
+    case TraceCodec::kCsv:
+      return std::make_unique<CsvTraceReader>(path, batch_records);
+    case TraceCodec::kBinary:
+      return std::make_unique<BinTraceReader>(path);
+    case TraceCodec::kMmap:
+      return std::make_unique<MmapBatchReader>(path);
+    case TraceCodec::kAuto:
+      break;
+  }
+  throw InvalidArgument("unresolvable trace codec for " + path);
+}
+
+std::unique_ptr<TraceWriter> open_trace_writer(const std::string& path,
+                                               TraceCodec codec,
+                                               std::size_t chunk_records) {
+  if (codec == TraceCodec::kAuto) codec = trace_codec_for_path(path);
+  switch (codec) {
+    case TraceCodec::kCsv:
+      return std::make_unique<CsvTraceWriter>(path);
+    case TraceCodec::kBinary:
+    case TraceCodec::kMmap:
+      return std::make_unique<BinTraceWriter>(path, chunk_records);
+    case TraceCodec::kAuto:
+      break;
+  }
+  throw InvalidArgument("unresolvable trace codec for " + path);
+}
+
+std::vector<TrafficLog> read_trace(const std::string& path, TraceCodec codec) {
+  auto reader = open_trace_reader(path, codec);
+  std::vector<TrafficLog> logs;
+  if (const auto count = reader->record_count()) {
+    logs.reserve(*count);
+  } else {
+    // CSV only knows its record count at EOF; pre-size from the file
+    // size over a conservative average row width so a month-scale load
+    // does one big allocation instead of a growth cascade.
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    if (!ec && bytes > 0)
+      logs.reserve(static_cast<std::size_t>(bytes / 32) + 1);
+  }
+  std::vector<TrafficLog> batch;
+  while (reader->next_batch(batch))
+    logs.insert(logs.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  return logs;
+}
+
+void write_trace(const std::string& path, const std::vector<TrafficLog>& logs,
+                 TraceCodec codec) {
+  auto writer = open_trace_writer(path, codec);
+  writer->append(std::span<const TrafficLog>(logs));
+  writer->finish();
+}
+
+}  // namespace cellscope

@@ -1,109 +1,20 @@
 #include "traffic/trace_io.h"
 
-#include <cstdlib>
-#include <limits>
-
-#include "common/csv.h"
-#include "common/error.h"
-#include "common/failpoint.h"
-#include "obs/metrics.h"
-#include "obs/quality.h"
-#include "obs/timer.h"
+#include "traffic/trace_codec.h"
 
 namespace cellscope {
 
-namespace {
-const char* kHeader[] = {"user_id", "tower_id",  "start_minute",
-                         "end_minute", "bytes", "address"};
-
-/// Reject ratio above which a trace file is considered corrupt — the
-/// paper's trace loses well under 1% of lines to formatting defects.
-constexpr double kMaxRejectRatio = 0.01;
-}  // namespace
+// The CSV entry points predate the codec layer; they keep their exact
+// historical contract (header row, reject accounting, failpoints,
+// trace_reject_ratio verdict) by delegating to the kCsv backend.
 
 void write_trace_csv(const std::string& path,
                      const std::vector<TrafficLog>& logs) {
-  if (CS_FAILPOINT("trace.write.fail"))
-    throw IoError("failpoint trace.write.fail: refusing to write " + path);
-  CsvWriter writer(path);
-  writer.write_row(std::vector<std::string>(std::begin(kHeader),
-                                            std::end(kHeader)));
-  for (const auto& log : logs) {
-    writer.write_row({std::to_string(log.user_id),
-                      std::to_string(log.tower_id),
-                      std::to_string(log.start_minute),
-                      std::to_string(log.end_minute),
-                      std::to_string(log.bytes), log.address});
-  }
-  writer.close();
+  write_trace(path, logs, TraceCodec::kCsv);
 }
 
 std::vector<TrafficLog> read_trace_csv(const std::string& path) {
-  if (CS_FAILPOINT("trace.read.fail"))
-    throw IoError("failpoint trace.read.fail: refusing to read " + path);
-  obs::StageSpan span("io.read_trace", "io", obs::LogLevel::kDebug);
-  const auto rows = CsvReader::read_file(path);
-  std::vector<TrafficLog> logs;
-  if (rows.empty()) return logs;
-  logs.reserve(rows.size() - 1);
-
-  auto parse_u64 = [](const std::string& s, std::uint64_t& out) {
-    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
-      return false;
-    out = std::strtoull(s.c_str(), nullptr, 10);
-    return true;
-  };
-  constexpr std::uint64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
-
-  // Malformed or out-of-range lines are counted and skipped, never fatal:
-  // a single bad line must not abort a month-long ingest. The reject
-  // ratio is recorded as a data-quality verdict below.
-  std::size_t rejected = 0;
-  for (std::size_t i = 1; i < rows.size(); ++i) {  // skip header
-    const auto& row = rows[i];
-    if (row.size() != 6) {
-      ++rejected;
-      continue;
-    }
-    TrafficLog log;
-    std::uint64_t tower = 0;
-    std::uint64_t start = 0;
-    std::uint64_t end = 0;
-    if (!parse_u64(row[0], log.user_id) || !parse_u64(row[1], tower) ||
-        !parse_u64(row[2], start) || !parse_u64(row[3], end) ||
-        !parse_u64(row[4], log.bytes) ||
-        // Out-of-range: ids/minutes that overflow their 32-bit fields, or
-        // an interval violating the half-open end >= start contract.
-        tower > kU32Max || start > kU32Max || end > kU32Max || end < start) {
-      ++rejected;
-      continue;
-    }
-    log.tower_id = static_cast<std::uint32_t>(tower);
-    log.start_minute = static_cast<std::uint32_t>(start);
-    log.end_minute = static_cast<std::uint32_t>(end);
-    log.address = row[5];
-    logs.push_back(std::move(log));
-  }
-
-  const std::size_t total = rows.size() - 1;
-  auto& registry = obs::MetricsRegistry::instance();
-  registry.counter("cellscope.io.trace_reads").add(1);
-  registry.counter("cellscope.io.trace_records").add(logs.size());
-  span.annotate({"records", logs.size()});
-  span.annotate({"rejected", rejected});
-  if (rejected > 0)
-    registry.counter("cellscope.io.rejected_lines").add(rejected);
-  if (total > 0) {
-    auto result = obs::check_reject_ratio(rejected, total, kMaxRejectRatio);
-    obs::QualityBoard::instance().record(
-        {.check = "trace_reject_ratio",
-         .stage = "io.read_trace",
-         .severity = obs::Severity::kFail,
-         .passed = result.passed,
-         .value = result.value,
-         .detail = std::move(result.detail)});
-  }
-  return logs;
+  return read_trace(path, TraceCodec::kCsv);
 }
 
 std::uint64_t total_bytes(const std::vector<TrafficLog>& logs) {

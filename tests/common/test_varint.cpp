@@ -1,0 +1,86 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cellscope {
+namespace {
+
+std::uint64_t encode_then_decode(std::uint64_t value) {
+  std::string buf;
+  varint_encode(value, buf);
+  const auto* cursor = reinterpret_cast<const unsigned char*>(buf.data());
+  const auto* end = cursor + buf.size();
+  std::uint64_t decoded = 0;
+  EXPECT_TRUE(varint_decode(&cursor, end, decoded));
+  EXPECT_EQ(cursor, end) << "decode must consume exactly the encoding";
+  return decoded;
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::vector<std::uint64_t> values = {
+      0,       1,        127,        128,        255,
+      16383,   16384,    (1ull << 32) - 1, 1ull << 32,
+      (1ull << 63), std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : values) EXPECT_EQ(encode_then_decode(v), v);
+}
+
+TEST(Varint, EncodingLengthsMatchLeb128) {
+  const auto length_of = [](std::uint64_t v) {
+    std::string buf;
+    varint_encode(v, buf);
+    return buf.size();
+  };
+  EXPECT_EQ(length_of(0), 1u);
+  EXPECT_EQ(length_of(127), 1u);
+  EXPECT_EQ(length_of(128), 2u);
+  EXPECT_EQ(length_of(16383), 2u);
+  EXPECT_EQ(length_of(16384), 3u);
+  EXPECT_EQ(length_of(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(Varint, DecodeRejectsTruncatedInput) {
+  std::string buf;
+  varint_encode(300, buf);  // two bytes
+  const auto* begin = reinterpret_cast<const unsigned char*>(buf.data());
+  const auto* cursor = begin;
+  std::uint64_t decoded = 0;
+  EXPECT_FALSE(varint_decode(&cursor, begin + 1, decoded));
+  const auto* empty = begin;
+  EXPECT_FALSE(varint_decode(&empty, begin, decoded));
+}
+
+TEST(Varint, DecodeRejectsOverlongEncoding) {
+  // Eleven continuation bytes cannot be a valid u64 varint.
+  std::string buf(11, static_cast<char>(0x80));
+  const auto* cursor = reinterpret_cast<const unsigned char*>(buf.data());
+  std::uint64_t decoded = 0;
+  EXPECT_FALSE(varint_decode(
+      &cursor, reinterpret_cast<const unsigned char*>(buf.data()) + buf.size(),
+      decoded));
+}
+
+TEST(Varint, ZigzagRoundTripsSignedValues) {
+  const std::vector<std::int64_t> values = {
+      0, -1, 1, -2, 2, 1000, -1000,
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min()};
+  for (const std::int64_t v : values)
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+}
+
+TEST(Varint, ZigzagKeepsSmallMagnitudesSmall) {
+  // The whole point: tiny deltas of either sign encode in one byte.
+  for (std::int64_t v = -63; v <= 63; ++v) {
+    std::string buf;
+    varint_encode(zigzag_encode(v), buf);
+    EXPECT_EQ(buf.size(), 1u) << "delta " << v;
+  }
+}
+
+}  // namespace
+}  // namespace cellscope
