@@ -1,0 +1,171 @@
+// Perf: serving-plane throughput. A closed-loop loopback load bench —
+// the BlockingHttpClient pipelines bursts of identical GETs against a
+// live QueryServer and measures end-to-end requests/second, the number
+// ISSUE 9 gates at >= 50k req/s on one core:
+//   - GET /towers/<id>/window   the O(1) hot path (shard-lock stat read)
+//   - GET /towers/<id>/class    full window copy + nearest-centroid
+//   - GET /stats                the serving-plane self-view
+//   - a 4-thread closed loop on /window, one keep-alive connection per
+//     client thread, for contention honesty on multicore hosts
+// Each case also reports the server-side p99 from the per-endpoint
+// latency histogram so the BENCH json keeps tail latency honest, not
+// just throughput.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "common/time_grid.h"
+#include "mapred/thread_pool.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/query_service.h"
+#include "server/server.h"
+#include "stream/ingestor.h"
+#include "stream/online_classifier.h"
+#include "stream/tower_window.h"
+
+namespace {
+
+using namespace cellscope;
+using namespace cellscope::server;
+
+constexpr std::size_t kDaySlots = TimeGrid::kSlotsPerDay;
+constexpr std::uint32_t kTowers = 16;
+constexpr std::size_t kBurst = 512;
+
+std::uint64_t office_bytes(std::size_t slot) {
+  const double phase =
+      2.0 * std::numbers::pi * static_cast<double>(slot % kDaySlots) /
+      kDaySlots;
+  return static_cast<std::uint64_t>(2000.0 + 1500.0 * std::sin(phase));
+}
+
+std::uint64_t resident_bytes(std::size_t slot) {
+  const double phase =
+      2.0 * std::numbers::pi * static_cast<double>(slot % kDaySlots) /
+      kDaySlots;
+  return static_cast<std::uint64_t>(2000.0 - 1500.0 * std::sin(phase));
+}
+
+ModelSnapshot synthetic_model() {
+  ModelSnapshot model;
+  for (const auto profile : {office_bytes, resident_bytes}) {
+    TowerWindow window;
+    for (std::size_t slot = 0; slot < TimeGrid::kSlots; ++slot)
+      window.add(slot * TimeGrid::kSlotMinutes, profile(slot));
+    model.centroids.push_back(window.folded_week());
+  }
+  model.regions = {FunctionalRegion::kOffice, FunctionalRegion::kResident};
+  model.populations = {kTowers / 2, kTowers / 2};
+  model.has_primaries = false;
+  return model;
+}
+
+/// One live daemon for the whole process: kTowers fully-populated
+/// windows, a published model, and a started QueryServer on an ephemeral
+/// loopback port. Leaked deliberately — the acceptor/worker threads must
+/// outlive every benchmark iteration and google-benchmark owns main().
+struct ServingPlane {
+  ThreadPool pool{2};
+  StreamIngestor ingestor{StreamConfig{.queue_capacity = 0}};
+  QueryService service{ingestor, &pool};
+  QueryServer server;
+
+  ServingPlane() : server(service, make_config()) {
+    std::vector<TrafficLog> logs;
+    for (std::uint32_t tower = 0; tower < kTowers; ++tower) {
+      const auto profile = tower % 2 == 0 ? office_bytes : resident_bytes;
+      for (std::size_t slot = 0; slot < TimeGrid::kSlots; ++slot) {
+        TrafficLog log;
+        log.tower_id = tower;
+        log.start_minute =
+            static_cast<std::uint32_t>(slot * TimeGrid::kSlotMinutes);
+        log.end_minute = log.start_minute;
+        log.bytes = profile(slot);
+        logs.push_back(log);
+      }
+    }
+    ingestor.offer_batch(logs);
+    ingestor.drain(pool);
+    service.publish_model(
+        std::make_shared<const OnlineClassifier>(synthetic_model()));
+    server.start();
+  }
+
+  static ServerConfig make_config() {
+    ServerConfig config;
+    config.workers = 4;
+    config.max_pending = 256;
+    return config;
+  }
+};
+
+ServingPlane& plane() {
+  static ServingPlane* instance = new ServingPlane();
+  return *instance;
+}
+
+/// Attaches the server-side p99 for `endpoint` (delta-free: the
+/// histogram accumulates across cases, but each case dominates its own
+/// endpoint, so the quantile stays representative).
+void report_p99(benchmark::State& state, Endpoint endpoint) {
+  const auto& hist =
+      *ServerMetrics::instance().latency_ms[static_cast<std::size_t>(
+          endpoint)];
+  state.counters["p99_ms"] = hist.quantile(0.99);
+}
+
+/// Closed-loop pipelined bursts of one GET target on one keep-alive
+/// connection; items/s is the req/s the gate watches.
+void burst_loop(benchmark::State& state, const std::string& target,
+                Endpoint endpoint) {
+  BlockingHttpClient client(plane().server.port());
+  for (auto _ : state) {
+    const auto responses = client.get_burst(target, kBurst);
+    if (responses.size() != kBurst ||
+        responses.front().status != 200) {
+      state.SkipWithError("short or failed burst");
+      return;
+    }
+    benchmark::DoNotOptimize(responses.back().body.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBurst));
+  if (state.thread_index() == 0) report_p99(state, endpoint);
+}
+
+void BM_ServerWindow(benchmark::State& state) {
+  burst_loop(state, "/towers/3/window", Endpoint::kWindow);
+}
+BENCHMARK(BM_ServerWindow)->Unit(benchmark::kMillisecond);
+
+void BM_ServerClass(benchmark::State& state) {
+  burst_loop(state, "/towers/3/class", Endpoint::kClass);
+}
+BENCHMARK(BM_ServerClass)->Unit(benchmark::kMillisecond);
+
+void BM_ServerStats(benchmark::State& state) {
+  burst_loop(state, "/stats", Endpoint::kStats);
+}
+BENCHMARK(BM_ServerStats)->Unit(benchmark::kMillisecond);
+
+/// Contended closed loop: each benchmark thread drives its own
+/// keep-alive connection against the shared worker pool.
+void BM_ServerWindowConcurrent(benchmark::State& state) {
+  burst_loop(state, "/towers/" + std::to_string(state.thread_index()) +
+                        "/window",
+             Endpoint::kWindow);
+}
+BENCHMARK(BM_ServerWindowConcurrent)
+    ->Threads(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CELLSCOPE_BENCH_JSON("perf_server");

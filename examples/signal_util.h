@@ -1,0 +1,34 @@
+// Graceful-shutdown plumbing shared by the long-running example
+// binaries (stream_replay, cellscoped).
+//
+// A signal handler may only touch lock-free state, so SIGINT/SIGTERM do
+// nothing but set an atomic flag; the main loop polls stop_requested()
+// at batch/round granularity and runs the orderly exit path itself —
+// final drain, checkpoint flush, run report — instead of dying mid-write
+// with a torn snapshot on disk.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+
+namespace cellscope::examples {
+
+inline std::atomic<bool>& stop_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+inline bool stop_requested() {
+  return stop_flag().load(std::memory_order_acquire);
+}
+
+/// Routes SIGINT and SIGTERM to the stop flag. Call once, early in main.
+inline void install_stop_handlers() {
+  auto handler = [](int) {
+    stop_flag().store(true, std::memory_order_release);
+  };
+  std::signal(SIGINT, handler);
+  std::signal(SIGTERM, handler);
+}
+
+}  // namespace cellscope::examples

@@ -26,6 +26,10 @@
 //   --offer                 with --trace on a columnar file: go through
 //                           offer_batch/drain instead of the fused bulk
 //                           ingest path
+//   --checkpoint=PATH       flush a final stream snapshot here on exit —
+//                           including a SIGINT/SIGTERM exit, which stops
+//                           at the next round boundary instead of dying
+//                           mid-write
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -39,9 +43,12 @@
 #include "core/cellscope.h"
 #include "mapred/thread_pool.h"
 #include "obs/introspect.h"
+#include "obs/report.h"
+#include "signal_util.h"
 #include "stream/ingestor.h"
 #include "stream/online_classifier.h"
 #include "stream/replay.h"
+#include "stream/snapshot.h"
 
 namespace {
 
@@ -83,6 +90,21 @@ std::vector<TrafficLog> synthetic_logs(std::size_t n_records,
   return logs;
 }
 
+/// The SIGINT/SIGTERM (and normal-exit) epilogue: drain what's pending,
+/// flush the checkpoint if one was requested, and let the armed run
+/// report write on exit — never die mid-write.
+void finish_run(const std::string& checkpoint_path, StreamIngestor& ingestor,
+                ThreadPool& pool, bool interrupted) {
+  if (interrupted) std::cout << "\nstop requested; flushing...\n";
+  ingestor.drain(pool);
+  if (!checkpoint_path.empty()) {
+    const SnapshotInfo info = write_snapshot(checkpoint_path, ingestor);
+    std::cout << "checkpoint " << checkpoint_path << ": " << info.towers
+              << " towers, " << info.bins << " bins, " << info.bytes
+              << " bytes\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +113,7 @@ int main(int argc, char** argv) {
   std::size_t rounds = 4;
   std::size_t pause_ms = 500;
   std::string trace_path;
+  std::string checkpoint_path;
   bool bulk = true;
   ReplayOptions options;
   options.skew_window = 64;
@@ -118,6 +141,8 @@ int main(int argc, char** argv) {
       options.metrics_jsonl_path = arg.substr(16);
     else if (arg.starts_with("--trace="))
       trace_path = arg.substr(8);
+    else if (arg.starts_with("--checkpoint="))
+      checkpoint_path = arg.substr(13);
     else if (arg == "--offer")
       bulk = false;
     else if (arg.starts_with("--late="))
@@ -127,6 +152,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  examples::install_stop_handlers();
+  obs::arm_run_report("stream_replay");  // no-op unless CELLSCOPE_RUN_REPORT
 
   if (obs::IntrospectionServer::maybe_start_from_env()) {
     std::cout << "introspection server on http://127.0.0.1:"
@@ -165,6 +193,7 @@ int main(int argc, char** argv) {
               << ", dropped " << ingest.dropped << ", classify passes "
               << stats.classify_passes << "\n";
     std::cout << "final shard view:\n" << ingestor.status_json() << "\n";
+    finish_run(checkpoint_path, ingestor, pool, examples::stop_requested());
     return 0;
   }
 
@@ -173,7 +202,8 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t kGridMinutes =
       TimeGrid::kSlots * TimeGrid::kSlotMinutes;
 
-  for (std::size_t round = 0; round < rounds; ++round) {
+  for (std::size_t round = 0;
+       round < rounds && !examples::stop_requested(); ++round) {
     // Each round replays the same feed one full grid later, so event time
     // (and the watermark) advances monotonically across rounds.
     std::vector<TrafficLog> logs = base_logs;
@@ -200,5 +230,6 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "done; final shard view:\n" << ingestor.status_json() << "\n";
+  finish_run(checkpoint_path, ingestor, pool, examples::stop_requested());
   return 0;
 }

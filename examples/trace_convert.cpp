@@ -124,6 +124,26 @@ int cmd_info(const std::string& path) {
   }
   if (show < reader.chunk_count())
     std::cout << "  ... " << reader.chunk_count() - show << " more chunks\n";
+
+  // Footer-index summary over every chunk (not just the ones shown): the
+  // operator's sanity check before pointing the daemon at this file.
+  if (reader.chunk_count() > 0) {
+    std::uint32_t min_tower = reader.chunk(0).min_tower;
+    std::uint32_t max_tower = reader.chunk(0).max_tower;
+    std::uint64_t min_minute = reader.chunk(0).min_minute;
+    std::uint64_t max_minute = reader.chunk(0).max_minute;
+    for (std::size_t i = 1; i < reader.chunk_count(); ++i) {
+      const auto& entry = reader.chunk(i);
+      min_tower = std::min(min_tower, entry.min_tower);
+      max_tower = std::max(max_tower, entry.max_tower);
+      min_minute = std::min<std::uint64_t>(min_minute, entry.min_minute);
+      max_minute = std::max<std::uint64_t>(max_minute, entry.max_minute);
+    }
+    std::cout << "index summary: " << reader.chunk_count()
+              << " chunks, towers [" << min_tower << ", " << max_tower
+              << "], minutes [" << min_minute << ", " << max_minute
+              << "]\n";
+  }
   return 0;
 }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Serving-plane race check: configure a ThreadSanitizer build in
+# build-tsan/, build the server test suite, and run `ctest -L server`
+# under it. The intended targets (DESIGN.md §11) are the RCU model swap
+# racing in-flight classify_all passes, TowerWindow reads racing the
+# fused bulk ingest path, many client threads against the worker pool's
+# admission queue, and the failpoint-driven fault drill; any data race,
+# deadlock, or use-after-free fails the run.
+#
+# Usage:
+#   scripts/check_server.sh            # configure (once), build, run
+#   CELLSCOPE_TSAN_BUILD_DIR=... scripts/check_server.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${CELLSCOPE_TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
+
+# Configure every run: a no-op on a warm cache, and it picks up new
+# targets after CMakeLists changes.
+cmake -B "${build_dir}" -S "${repo_root}" -DCELLSCOPE_SANITIZE=thread
+
+cmake --build "${build_dir}" -j --target test_server
+
+echo "check_server: running ctest -L server under ThreadSanitizer"
+ctest --test-dir "${build_dir}" -L server --output-on-failure

@@ -25,6 +25,8 @@ std::string status_text(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 400:
+      return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
@@ -227,7 +229,13 @@ void IntrospectionServer::serve_loop() {
     const int ready = ::poll(&pfd, 1, kPollIntervalMs);
     if (ready <= 0) continue;  // timeout (stop check) or transient error
     const int client = ::accept(fd, nullptr, nullptr);
-    if (client < 0) continue;
+    if (client < 0) {
+      // fd exhaustion, aborted handshakes — visible, not silent.
+      MetricsRegistry::instance()
+          .counter("cellscope.introspect.accept_errors")
+          .add(1);
+      continue;
+    }
     serve_one(client);
     ::close(client);
   }
@@ -244,8 +252,17 @@ void IntrospectionServer::serve_one(int client_fd) const {
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));
   }
+  // Malformed input gets a typed 400, never a silent close — a curl
+  // fat-fingering the port should see why it was refused.
   const auto line_end = request.find('\n');
-  if (line_end == std::string::npos) return;  // not even a request line
+  HttpResponse response;
+  if (line_end == std::string::npos) {
+    if (request.empty()) return;  // hangup before any bytes: nothing to say
+    response.status = 400;
+    response.body = "malformed request line\n";
+    write_response(client_fd, response);
+    return;
+  }
 
   // "GET /path HTTP/1.1"
   std::string_view line(request.data(), line_end);
@@ -256,9 +273,8 @@ void IntrospectionServer::serve_one(int client_fd) const {
       first_space == std::string_view::npos
           ? std::string_view::npos
           : line.find(' ', first_space + 1);
-  HttpResponse response;
-  if (first_space == std::string_view::npos) {
-    response.status = 405;
+  if (first_space == std::string_view::npos || first_space == 0) {
+    response.status = 400;
     response.body = "malformed request line\n";
   } else if (line.substr(0, first_space) != "GET") {
     response.status = 405;
@@ -270,7 +286,13 @@ void IntrospectionServer::serve_one(int client_fd) const {
     response =
         handle(line.substr(first_space + 1, path_end - first_space - 1));
   }
+  write_response(client_fd, response);
+}
 
+void IntrospectionServer::write_response(int client_fd,
+                                         const HttpResponse& response) {
+  // Connection: close on every response: this server answers exactly one
+  // request per connection, and says so.
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
                      status_text(response.status) +
                      "\r\nContent-Type: " + response.content_type +

@@ -19,6 +19,11 @@
 // thread-safe against the instrumented process (everything built on
 // MetricsRegistry/QualityBoard already is).
 //
+// Wire behavior: every response carries `Connection: close` (one request
+// per connection, and says so), a malformed request line is answered
+// with a typed 400 instead of a silent close, and accept() failures are
+// counted on cellscope.introspect.accept_errors.
+//
 // Enable with CELLSCOPE_INTROSPECT_PORT=<port> (0 picks an ephemeral
 // port, logged at startup); maybe_start_from_env() is called by the
 // replay harness and the stream_replay CLI, or call start() directly.
@@ -101,6 +106,9 @@ class IntrospectionServer {
  private:
   void serve_loop();
   void serve_one(int client_fd) const;
+  /// Frames and best-effort-writes one response (always Connection:
+  /// close — this server answers one request per connection).
+  static void write_response(int client_fd, const HttpResponse& response);
 
   mutable std::mutex mutex_;       // guards handlers_ and lifecycle fields
   mutable std::mutex exec_mutex_;  // held while a handler runs

@@ -1,0 +1,197 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace cellscope::server {
+
+namespace {
+
+/// Parses one response from the front of `buffer`. Returns bytes
+/// consumed, 0 when the buffer is still incomplete. Throws IoError on a
+/// frame we cannot make sense of.
+std::size_t parse_response(std::string_view buffer, ClientResponse& out) {
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) return 0;
+  const std::string_view head = buffer.substr(0, head_end);
+
+  // Status line: HTTP/1.1 NNN Reason
+  const std::size_t sp = head.find(' ');
+  if (sp == std::string_view::npos || head.size() < sp + 4)
+    throw IoError("malformed response status line");
+  out.status = (head[sp + 1] - '0') * 100 + (head[sp + 2] - '0') * 10 +
+               (head[sp + 3] - '0');
+  if (out.status < 100 || out.status > 599)
+    throw IoError("malformed response status code");
+
+  std::size_t content_length = 0;
+  out.keep_alive = true;
+  std::size_t pos = head.find("\r\n");
+  while (pos != std::string_view::npos && pos < head.size()) {
+    pos += 2;
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view line = head.substr(pos, next - pos);
+    pos = next;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name(line.substr(0, colon));
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    if (name == "content-length") {
+      content_length = std::stoull(std::string(value));
+    } else if (name == "connection") {
+      out.keep_alive = value != "close";
+    }
+  }
+
+  const std::size_t body_start = head_end + 4;
+  if (buffer.size() - body_start < content_length) return 0;
+  out.body = std::string(buffer.substr(body_start, content_length));
+  return body_start + content_length;
+}
+
+}  // namespace
+
+BlockingHttpClient::BlockingHttpClient(std::uint16_t port, int timeout_ms)
+    : port_(port), timeout_ms_(timeout_ms) {}
+
+BlockingHttpClient::~BlockingHttpClient() { disconnect(); }
+
+void BlockingHttpClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+void BlockingHttpClient::connect() {
+  disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw IoError("socket(): " + std::string(strerror(errno)));
+  timeval timeout{};
+  timeout.tv_sec = timeout_ms_ / 1000;
+  timeout.tv_usec = (timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = strerror(errno);
+    disconnect();
+    throw IoError("connect(127.0.0.1:" + std::to_string(port_) +
+                  "): " + why);
+  }
+}
+
+bool BlockingHttpClient::read_response(ClientResponse& out) {
+  char chunk[16384];
+  while (true) {
+    const std::size_t consumed = parse_response(buffer_, out);
+    if (consumed > 0) {
+      buffer_.erase(0, consumed);
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool BlockingHttpClient::exchange(const std::string& request,
+                                  ClientResponse& out) {
+  if (fd_ < 0) connect();
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd_, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  if (!read_response(out)) return false;
+  if (!out.keep_alive) disconnect();
+  return true;
+}
+
+ClientResponse BlockingHttpClient::get(std::string_view target) {
+  const std::string request = "GET " + std::string(target) +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  ClientResponse response;
+  if (exchange(request, response)) return response;
+  // The keep-alive connection died between requests — retry once fresh.
+  connect();
+  if (exchange(request, response)) return response;
+  throw IoError("GET " + std::string(target) + ": connection lost");
+}
+
+ClientResponse BlockingHttpClient::post(std::string_view target,
+                                        std::string_view body) {
+  std::string request = "POST " + std::string(target) +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Content-Type: application/json\r\n"
+                        "Content-Length: " +
+                        std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  ClientResponse response;
+  if (exchange(request, response)) return response;
+  connect();
+  if (exchange(request, response)) return response;
+  throw IoError("POST " + std::string(target) + ": connection lost");
+}
+
+std::vector<ClientResponse> BlockingHttpClient::get_burst(
+    std::string_view target, std::size_t n) {
+  if (fd_ < 0) connect();
+  const std::string one = "GET " + std::string(target) +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  std::string burst;
+  burst.reserve(one.size() * n);
+  for (std::size_t i = 0; i < n; ++i) burst += one;
+
+  std::vector<ClientResponse> responses;
+  responses.reserve(n);
+  std::size_t sent = 0;
+  while (sent < burst.size()) {
+    const ssize_t wrote = ::send(fd_, burst.data() + sent,
+                                 burst.size() - sent, MSG_NOSIGNAL);
+    if (wrote <= 0) {
+      if (wrote < 0 && errno == EINTR) continue;
+      disconnect();
+      return responses;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ClientResponse response;
+    if (!read_response(response)) {
+      disconnect();
+      break;
+    }
+    const bool keep = response.keep_alive;
+    responses.push_back(std::move(response));
+    if (!keep) {
+      disconnect();
+      break;
+    }
+  }
+  return responses;
+}
+
+}  // namespace cellscope::server

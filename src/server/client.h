@@ -1,0 +1,70 @@
+// Blocking HTTP/1.1 client for the query daemon — the test suite's and
+// load bench's view of the server. Deliberately tiny: one keep-alive
+// connection, synchronous request/response, no TLS, loopback-oriented.
+//
+// get()/post() run one exchange; a dropped keep-alive connection (server
+// restarted, idle timeout) is retried once on a fresh connection before
+// the error surfaces. get_burst() pipelines N copies of one GET in a
+// single write and reads all N responses back — the closed-loop load
+// bench uses it to amortize syscalls so a single core can drive the
+// ≥50k req/s target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/http.h"
+
+namespace cellscope::server {
+
+/// One client-side exchange result.
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+  bool keep_alive = true;  ///< server's Connection header
+};
+
+/// Blocking loopback HTTP client over one keep-alive connection.
+class BlockingHttpClient {
+ public:
+  /// Connects lazily on the first request.
+  explicit BlockingHttpClient(std::uint16_t port, int timeout_ms = 5000);
+  ~BlockingHttpClient();
+
+  /// One GET exchange. Throws IoError when the server is unreachable or
+  /// the response cannot be read (after one reconnect attempt).
+  ClientResponse get(std::string_view target);
+
+  /// One POST exchange with a request body (Content-Type:
+  /// application/json).
+  ClientResponse post(std::string_view target, std::string_view body);
+
+  /// Pipelines `n` identical GETs in one write and reads the `n`
+  /// responses in order. Stops early (returning what it got) when the
+  /// server closes mid-burst — a 429 shed ends a burst, by design.
+  std::vector<ClientResponse> get_burst(std::string_view target,
+                                        std::size_t n);
+
+  /// Drops the connection; the next request reconnects.
+  void disconnect();
+
+  BlockingHttpClient(const BlockingHttpClient&) = delete;
+  BlockingHttpClient& operator=(const BlockingHttpClient&) = delete;
+
+ private:
+  void connect();
+  /// Sends `request` and reads one response; false when the connection
+  /// died (caller reconnects and retries once).
+  bool exchange(const std::string& request, ClientResponse& out);
+  /// Reads one response from the front of buffer_, recv()ing as needed.
+  bool read_response(ClientResponse& out);
+
+  std::uint16_t port_;
+  int timeout_ms_;
+  int fd_ = -1;
+  std::string buffer_;  ///< unconsumed bytes past the last response
+};
+
+}  // namespace cellscope::server

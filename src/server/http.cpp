@@ -1,0 +1,192 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cellscope::server {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::string lowercase(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+ParseResult bad(int status, std::string error) {
+  ParseResult result;
+  result.status = ParseStatus::kBad;
+  result.error_status = status;
+  result.error = std::move(error);
+  return result;
+}
+
+}  // namespace
+
+ParseResult parse_http_request(std::string_view buffer, HttpRequest& out,
+                               const HttpLimits& limits) {
+  out = HttpRequest{};
+
+  // Head = everything through the blank line. An unterminated head longer
+  // than the bound can never become valid — reject instead of buffering.
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (buffer.size() > limits.max_head_bytes)
+      return bad(431, "request head exceeds " +
+                          std::to_string(limits.max_head_bytes) + " bytes");
+    return ParseResult{};  // kNeedMore
+  }
+  const std::string_view head = buffer.substr(0, head_end);
+  if (head.size() > limits.max_head_bytes)
+    return bad(431, "request head exceeds " +
+                        std::to_string(limits.max_head_bytes) + " bytes");
+  const std::size_t body_start = head_end + 4;
+
+  // Request line: METHOD SP TARGET SP HTTP/x.y
+  std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  const std::string_view line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1)
+    return bad(400, "malformed request line");
+  const std::string_view version = trim(line.substr(sp2 + 1));
+  if (!version.starts_with("HTTP/"))
+    return bad(400, "malformed HTTP version");
+  out.method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target.front() != '/')
+    return bad(400, "request target must be an absolute path");
+  const std::size_t qmark = target.find('?');
+  if (qmark == std::string_view::npos) {
+    out.path = std::string(target);
+  } else {
+    out.path = std::string(target.substr(0, qmark));
+    out.query = std::string(target.substr(qmark + 1));
+  }
+
+  // Header lines.
+  std::size_t pos = line_end;
+  while (pos < head.size()) {
+    pos += 2;  // skip the CRLF that ended the previous line
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view header_line = head.substr(pos, next - pos);
+    pos = next;
+    if (header_line.empty()) continue;
+    const std::size_t colon = header_line.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      return bad(400, "malformed header line");
+    out.headers[lowercase(trim(header_line.substr(0, colon)))] =
+        std::string(trim(header_line.substr(colon + 1)));
+  }
+
+  // Keep-alive: the 1.1 default, unless the client opted out (or is 1.0
+  // and did not opt in).
+  const bool http10 = version == "HTTP/1.0";
+  out.keep_alive = !http10;
+  if (const auto it = out.headers.find("connection");
+      it != out.headers.end()) {
+    const std::string value = lowercase(it->second);
+    if (value == "close") out.keep_alive = false;
+    if (value == "keep-alive") out.keep_alive = true;
+  }
+
+  // Body: Content-Length bytes (we never accept chunked encoding).
+  std::size_t content_length = 0;
+  if (const auto it = out.headers.find("content-length");
+      it != out.headers.end()) {
+    const std::string& value = it->second;
+    if (value.empty() ||
+        !std::all_of(value.begin(), value.end(),
+                     [](unsigned char c) { return std::isdigit(c); }))
+      return bad(400, "malformed Content-Length");
+    content_length = std::stoull(value);
+  } else if (out.headers.contains("transfer-encoding")) {
+    return bad(400, "chunked transfer encoding is not supported");
+  }
+  if (content_length > limits.max_body_bytes)
+    return bad(413, "request body exceeds " +
+                        std::to_string(limits.max_body_bytes) + " bytes");
+  if (buffer.size() - body_start < content_length)
+    return ParseResult{};  // kNeedMore
+  out.body = std::string(buffer.substr(body_start, content_length));
+
+  ParseResult result;
+  result.status = ParseStatus::kOk;
+  result.consumed = body_start + content_length;
+  return result;
+}
+
+std::string_view http_status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response,
+                               bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + ' ';
+  out += http_status_text(response.status);
+  out += "\r\nContent-Type: " + response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                    : "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::optional<std::string> query_param(const HttpRequest& request,
+                                       std::string_view key) {
+  std::string_view rest = request.query;
+  while (!rest.empty()) {
+    std::size_t amp = rest.find('&');
+    if (amp == std::string_view::npos) amp = rest.size();
+    const std::string_view pair = rest.substr(0, amp);
+    rest.remove_prefix(std::min(rest.size(), amp + 1));
+    const std::size_t eq = pair.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (name == key) {
+      return eq == std::string_view::npos
+                 ? std::string()
+                 : std::string(pair.substr(eq + 1));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cellscope::server

@@ -622,6 +622,26 @@ TowerWindow StreamIngestor::window_copy(std::uint32_t tower_id) const {
   return it->second;
 }
 
+TowerWindowStats StreamIngestor::window_stats(std::uint32_t tower_id) const {
+  const Shard& shard = shard_of(tower_id);
+  std::lock_guard<std::mutex> lock(shard.window_mutex);
+  const auto it = std::lower_bound(
+      shard.windows.begin(), shard.windows.end(), tower_id,
+      [](const auto& entry, std::uint32_t id) { return entry.first < id; });
+  if (it == shard.windows.end() || it->first != tower_id)
+    throw InvalidArgument("no window for tower id " +
+                          std::to_string(tower_id));
+  const TowerWindow& window = it->second;
+  TowerWindowStats stats;
+  stats.observed_slots = window.observed_slots();
+  stats.total_bytes = window.total_bytes();
+  stats.mean = window.mean();
+  stats.variance = window.variance();
+  stats.latest_minute = window.latest_minute();
+  stats.latest_cycle = window.latest_cycle();
+  return stats;
+}
+
 std::vector<std::pair<std::uint32_t, std::vector<double>>>
 StreamIngestor::folded_vectors(ThreadPool* pool) const {
   // Snapshot every window under its shard lock, then fold outside all

@@ -96,6 +96,17 @@ struct IngestStats {
   std::uint64_t low_watermark_minute = 0;
 };
 
+/// O(1) summary of one tower's window — the /towers/:id/window endpoint
+/// body. Read under the shard lock but without copying the grid.
+struct TowerWindowStats {
+  std::size_t observed_slots = 0;
+  std::uint64_t total_bytes = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  std::uint64_t latest_minute = 0;
+  std::uint32_t latest_cycle = 0;
+};
+
 /// One shard's live view, for /stream and tests.
 struct ShardStats {
   std::size_t shard = 0;
@@ -174,6 +185,11 @@ class StreamIngestor {
   /// Copy of one tower's window (under its shard lock); throws
   /// InvalidArgument when the tower has none.
   TowerWindow window_copy(std::uint32_t tower_id) const;
+
+  /// O(1) stats of one tower's window, read under its shard lock without
+  /// copying the 4032-slot grid — the serving plane's cheap read path.
+  /// Throws InvalidArgument when the tower has none.
+  TowerWindowStats window_stats(std::uint32_t tower_id) const;
 
   /// (tower id, folded z-scored mean week) for every window, ascending by
   /// id — the streaming equivalent of the batch

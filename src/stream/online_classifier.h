@@ -96,6 +96,11 @@ class OnlineClassifier {
 
   const ModelSnapshot& model() const { return model_; }
 
+  /// The centroid-template forecaster backing cold starts — also the
+  /// serving plane's /towers/:id/forecast engine (templates align with
+  /// model().centroids, so a matched template indexes regions too).
+  const PatternForecaster& forecaster() const { return forecaster_; }
+
  private:
   ModelSnapshot model_;
   PatternForecaster forecaster_;  // templates = the centroids

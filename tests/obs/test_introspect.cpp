@@ -40,6 +40,9 @@ std::string http_request(std::uint16_t port, const std::string& request) {
       << std::strerror(errno);
   EXPECT_EQ(::write(fd, request.data(), request.size()),
             static_cast<ssize_t>(request.size()));
+  // Half-close so a request with no head terminator still reaches EOF on
+  // the server side (the malformed-line 400 tests depend on this).
+  ::shutdown(fd, SHUT_WR);
   std::string response;
   char buf[4096];
   ssize_t n;
@@ -116,6 +119,19 @@ TEST(IntrospectionServer, ServesRealSocketsOnEphemeralPort) {
   EXPECT_NE(get(port, "/nope").find("HTTP/1.1 404"), std::string::npos);
   EXPECT_NE(http_request(port, "POST /metrics HTTP/1.1\r\n\r\n")
                 .find("HTTP/1.1 405"),
+            std::string::npos);
+
+  // Malformed request lines are a typed 400, never a silent close: a
+  // spaceless line and a newline-less blob both get an answer.
+  EXPECT_NE(http_request(port, "garbage\r\n\r\n").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_request(port, "no newline at all").find("HTTP/1.1 400"),
+            std::string::npos);
+
+  // Every response says Connection: close (one request per connection).
+  EXPECT_NE(get(port, "/metrics").find("Connection: close"),
+            std::string::npos);
+  EXPECT_NE(get(port, "/nope").find("Connection: close"),
             std::string::npos);
 
   // /healthz answers 200 or 503 depending on accumulated verdicts; either

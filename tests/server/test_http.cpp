@@ -1,0 +1,150 @@
+// Wire-format layer of the query daemon: request parsing over growing
+// buffers (incremental reads, pipelining, limits), response framing, and
+// query-string access.
+#include "server/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cellscope::server {
+namespace {
+
+HttpRequest parse_ok(const std::string& buffer,
+                     const HttpLimits& limits = {}) {
+  HttpRequest request;
+  const ParseResult result = parse_http_request(buffer, request, limits);
+  EXPECT_EQ(result.status, ParseStatus::kOk) << result.error;
+  EXPECT_EQ(result.consumed, buffer.size());
+  return request;
+}
+
+int parse_bad(const std::string& buffer, const HttpLimits& limits = {}) {
+  HttpRequest request;
+  const ParseResult result = parse_http_request(buffer, request, limits);
+  EXPECT_EQ(result.status, ParseStatus::kBad);
+  EXPECT_FALSE(result.error.empty());
+  return result.error_status;
+}
+
+TEST(HttpParse, SimpleGet) {
+  const auto request =
+      parse_ok("GET /towers/7/class HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/towers/7/class");
+  EXPECT_EQ(request.query, "");
+  EXPECT_TRUE(request.keep_alive);
+  EXPECT_EQ(request.headers.at("host"), "x");
+  EXPECT_TRUE(request.body.empty());
+}
+
+TEST(HttpParse, QueryStringSplitsOffPath) {
+  const auto request =
+      parse_ok("GET /towers/7/forecast?horizon=288&x=1 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(request.path, "/towers/7/forecast");
+  EXPECT_EQ(request.query, "horizon=288&x=1");
+  EXPECT_EQ(query_param(request, "horizon").value_or(""), "288");
+  EXPECT_EQ(query_param(request, "x").value_or(""), "1");
+  EXPECT_FALSE(query_param(request, "missing").has_value());
+}
+
+TEST(HttpParse, HeaderNamesLowercasedValuesTrimmed) {
+  const auto request = parse_ok(
+      "GET / HTTP/1.1\r\nContent-TYPE:  application/json \r\n\r\n");
+  EXPECT_EQ(request.headers.at("content-type"), "application/json");
+}
+
+TEST(HttpParse, PostBodyByContentLength) {
+  const auto request = parse_ok(
+      "POST /classify HTTP/1.1\r\nContent-Length: 5\r\n\r\n[1,2]");
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "[1,2]");
+}
+
+TEST(HttpParse, KeepAliveDefaults) {
+  EXPECT_TRUE(parse_ok("GET / HTTP/1.1\r\n\r\n").keep_alive);
+  EXPECT_FALSE(
+      parse_ok("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+  EXPECT_FALSE(parse_ok("GET / HTTP/1.0\r\n\r\n").keep_alive);
+  EXPECT_TRUE(parse_ok("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+                  .keep_alive);
+}
+
+TEST(HttpParse, IncompleteInputAsksForMore) {
+  HttpRequest request;
+  EXPECT_EQ(parse_http_request("GET / HT", request, {}).status,
+            ParseStatus::kNeedMore);
+  // Head complete, body short: still incomplete.
+  EXPECT_EQ(parse_http_request(
+                "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+                request, {})
+                .status,
+            ParseStatus::kNeedMore);
+}
+
+TEST(HttpParse, PipelinedRequestsConsumeExactly) {
+  const std::string one = "GET /a HTTP/1.1\r\n\r\n";
+  const std::string two = one + "GET /b HTTP/1.1\r\n\r\n";
+  HttpRequest request;
+  const ParseResult first = parse_http_request(two, request, {});
+  ASSERT_EQ(first.status, ParseStatus::kOk);
+  EXPECT_EQ(first.consumed, one.size());
+  EXPECT_EQ(request.path, "/a");
+  const ParseResult second = parse_http_request(
+      std::string_view(two).substr(first.consumed), request, {});
+  ASSERT_EQ(second.status, ParseStatus::kOk);
+  EXPECT_EQ(request.path, "/b");
+}
+
+TEST(HttpParse, StructuralDamageIsTyped400) {
+  EXPECT_EQ(parse_bad("garbage\r\n\r\n"), 400);
+  EXPECT_EQ(parse_bad("GET /nope\r\n\r\n"), 400);          // no version
+  EXPECT_EQ(parse_bad("GET / FTP/1.1\r\n\r\n"), 400);      // bad version
+  EXPECT_EQ(parse_bad("GET nopath HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(parse_bad("GET / HTTP/1.1\r\nbroken header\r\n\r\n"), 400);
+  EXPECT_EQ(parse_bad("POST / HTTP/1.1\r\nContent-Length: -2\r\n\r\n"),
+            400);
+  EXPECT_EQ(
+      parse_bad("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      400);
+}
+
+TEST(HttpParse, LimitsAreTypedRejections) {
+  HttpLimits limits;
+  limits.max_head_bytes = 64;
+  limits.max_body_bytes = 8;
+  // Oversized head — even before the terminator arrives.
+  EXPECT_EQ(parse_bad("GET /" + std::string(100, 'a'), limits), 431);
+  EXPECT_EQ(parse_bad("GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n",
+                      limits),
+            431);
+  EXPECT_EQ(
+      parse_bad("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n", limits),
+      413);
+}
+
+TEST(HttpSerialize, FramesStatusHeadersBody) {
+  HttpResponse response;
+  response.status = 429;
+  response.content_type = "application/json";
+  response.body = "{\"error\":\"x\"}";
+  const std::string close_frame = serialize_response(response, false);
+  EXPECT_NE(close_frame.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(close_frame.find("Content-Length: 13\r\n"), std::string::npos);
+  EXPECT_NE(close_frame.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_TRUE(close_frame.ends_with("\r\n\r\n" + response.body));
+
+  const std::string keep_frame = serialize_response(response, true);
+  EXPECT_NE(keep_frame.find("Connection: keep-alive\r\n"),
+            std::string::npos);
+}
+
+TEST(HttpSerialize, StatusTextCoversServerCodes) {
+  for (const int status : {200, 400, 404, 405, 409, 413, 429, 431, 503})
+    EXPECT_FALSE(http_status_text(status).empty());
+  EXPECT_EQ(http_status_text(599), "Internal Server Error");
+}
+
+}  // namespace
+}  // namespace cellscope::server

@@ -1,0 +1,136 @@
+// Failpoint-driven fault drill for the serving plane (compiled only when
+// CELLSCOPE_FAILPOINTS is ON): artificial accept failures and truncated
+// replies must surface as counted, typed degradation — never deadlock,
+// use-after-free, or a torn frame followed by more traffic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "common/time_grid.h"
+#include "mapred/thread_pool.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/query_service.h"
+#include "server/server.h"
+#include "stream/ingestor.h"
+#include "stream/online_classifier.h"
+#include "stream/tower_window.h"
+
+namespace cellscope::server {
+namespace {
+
+constexpr std::size_t kDay = TimeGrid::kSlotsPerDay;
+
+std::uint64_t office_bytes(std::size_t slot) {
+  const double phase =
+      2.0 * std::numbers::pi * static_cast<double>(slot % kDay) / kDay;
+  return static_cast<std::uint64_t>(2000.0 + 1500.0 * std::sin(phase));
+}
+
+ModelSnapshot tiny_model() {
+  ModelSnapshot model;
+  TowerWindow window;
+  for (std::size_t slot = 0; slot < TimeGrid::kSlots; ++slot)
+    window.add(slot * TimeGrid::kSlotMinutes, office_bytes(slot));
+  model.centroids.push_back(window.folded_week());
+  model.regions = {FunctionalRegion::kOffice};
+  model.populations = {1};
+  return model;
+}
+
+class ServerFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fp::disarm_all();
+    std::vector<TrafficLog> logs;
+    for (std::size_t slot = 0; slot < kDay; ++slot) {
+      TrafficLog log;
+      log.tower_id = 1;
+      log.start_minute =
+          static_cast<std::uint32_t>(slot * TimeGrid::kSlotMinutes);
+      log.end_minute = log.start_minute;
+      log.bytes = office_bytes(slot);
+      logs.push_back(log);
+    }
+    ingestor.offer_batch(logs);
+    ingestor.drain(pool);
+    service.publish_model(
+        std::make_shared<const OnlineClassifier>(tiny_model()));
+  }
+  void TearDown() override { fp::disarm_all(); }
+
+  ThreadPool pool{2};
+  StreamIngestor ingestor;
+  QueryService service{ingestor, &pool};
+};
+
+TEST_F(ServerFaultTest, AcceptFailuresAreCountedAndNonFatal) {
+  QueryServer server(service);
+  server.start();
+  const auto& metrics = ServerMetrics::instance();
+  const std::uint64_t errors_before = metrics.accept_errors->value();
+
+  // Two charges: the client's initial attempt AND its automatic
+  // reconnect both land on a failed accept, so the error surfaces.
+  fp::arm("server.accept.fail", 2);
+  BlockingHttpClient doomed(server.port(), /*timeout_ms=*/2000);
+  EXPECT_THROW(doomed.get("/stats"), IoError);
+  EXPECT_EQ(fp::fire_count("server.accept.fail"), 2u);
+  EXPECT_EQ(metrics.accept_errors->value(), errors_before + 2);
+
+  // The daemon shrugged it off: the next connection serves normally.
+  BlockingHttpClient healthy(server.port());
+  EXPECT_EQ(healthy.get("/towers/1/class").status, 200);
+  server.stop();
+}
+
+TEST_F(ServerFaultTest, PartialReplyIsCountedAndClosesConnection) {
+  QueryServer server(service);
+  server.start();
+  const auto& metrics = ServerMetrics::instance();
+  const std::uint64_t partial_before = metrics.reply_partial->value();
+
+  fp::arm("server.reply.partial", 1);
+  BlockingHttpClient client(server.port(), /*timeout_ms=*/2000);
+  // The truncated frame can't parse as a response; the retry-once path
+  // reconnects and gets a full answer — exactly the client-visible
+  // contract of a mid-reply crash.
+  const auto response = client.get("/towers/1/class");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(fp::fire_count("server.reply.partial"), 1u);
+  EXPECT_GE(metrics.reply_partial->value(), partial_before + 1);
+  server.stop();
+}
+
+TEST_F(ServerFaultTest, FaultsDoNotPoisonSubsequentTraffic) {
+  QueryServer server(service);
+  server.start();
+  fp::arm("server.accept.fail", 1);
+  fp::arm("server.reply.partial", 1);
+
+  // Burn through both faults, then demand a clean run of exchanges.
+  BlockingHttpClient client(server.port(), /*timeout_ms=*/2000);
+  for (int i = 0; i < 3; ++i) {
+    try {
+      (void)client.get("/stats");
+    } catch (const IoError&) {
+      client.disconnect();
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto response = client.get("/towers/1/window");
+    ASSERT_EQ(response.status, 200);
+  }
+  EXPECT_EQ(fp::fire_count("server.accept.fail"), 1u);
+  EXPECT_EQ(fp::fire_count("server.reply.partial"), 1u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace cellscope::server
