@@ -7,6 +7,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 
 #include "common/error.h"
@@ -48,7 +49,10 @@ std::size_t parse_response(std::string_view buffer, ClientResponse& out) {
     std::string_view value = line.substr(colon + 1);
     while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
     if (name == "content-length") {
-      content_length = std::stoull(std::string(value));
+      const auto [ptr, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), content_length);
+      if (ec != std::errc() || ptr != value.data() + value.size())
+        throw IoError("malformed Content-Length");
     } else if (name == "connection") {
       out.keep_alive = value != "close";
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 
 namespace cellscope::server {
 
@@ -111,11 +112,13 @@ ParseResult parse_http_request(std::string_view buffer, HttpRequest& out,
   if (const auto it = out.headers.find("content-length");
       it != out.headers.end()) {
     const std::string& value = it->second;
-    if (value.empty() ||
-        !std::all_of(value.begin(), value.end(),
-                     [](unsigned char c) { return std::isdigit(c); }))
+    const auto [ptr, ec] = std::from_chars(
+        value.data(), value.data() + value.size(), content_length);
+    if (ec == std::errc::result_out_of_range)
+      return bad(413, "request body exceeds " +
+                          std::to_string(limits.max_body_bytes) + " bytes");
+    if (ec != std::errc() || ptr != value.data() + value.size())
       return bad(400, "malformed Content-Length");
-    content_length = std::stoull(value);
   } else if (out.headers.contains("transfer-encoding")) {
     return bad(400, "chunked transfer encoding is not supported");
   }

@@ -36,8 +36,10 @@ HttpResponse json_response(int status, std::string body) {
 }
 
 HttpResponse error_response(int status, std::string_view message) {
-  return json_response(status, "{\"error\":\"" + std::string(message) +
-                                   "\"}");
+  // Messages can carry exception text (paths, quotes) — escape so the
+  // body stays valid JSON no matter what e.what() contains.
+  return json_response(status,
+                       "{\"error\":\"" + obs::json_escape(message) + "\"}");
 }
 
 /// Strict decimal parse of a path segment / query value.

@@ -6,7 +6,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/error.h"
 #include "common/failpoint.h"
@@ -94,7 +96,14 @@ void QueryServer::start() {
 
 void QueryServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  stopping_.store(true, std::memory_order_release);
+  // stopping_ is set under queue_mutex_ so the store is serialized with
+  // the workers' wait-predicate check: a worker that saw (not stopping,
+  // queue empty) cannot miss the notify below — it is either already
+  // blocked in wait() or still holds the mutex we need first.
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
 
   // Unblock the acceptor, the workers waiting on the queue, and the
   // workers blocked in recv() on a live connection.
@@ -187,6 +196,9 @@ void QueryServer::accept_loop() {
     if (client < 0) {
       if (errno == EINTR) continue;
       metrics.accept_errors->add(1);
+      // Persistent failures (EMFILE, ENFILE, ENOBUFS) would otherwise
+      // busy-spin exactly when the process is resource-starved.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
 

@@ -104,6 +104,8 @@ TEST(HttpParse, StructuralDamageIsTyped400) {
   EXPECT_EQ(parse_bad("GET / HTTP/1.1\r\nbroken header\r\n\r\n"), 400);
   EXPECT_EQ(parse_bad("POST / HTTP/1.1\r\nContent-Length: -2\r\n\r\n"),
             400);
+  EXPECT_EQ(parse_bad("POST / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n"),
+            400);
   EXPECT_EQ(
       parse_bad("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
       400);
@@ -121,6 +123,12 @@ TEST(HttpParse, LimitsAreTypedRejections) {
   EXPECT_EQ(
       parse_bad("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n", limits),
       413);
+  // All-digit but above ULLONG_MAX: must be a typed rejection, never an
+  // exception escaping the documented never-throws contract.
+  EXPECT_EQ(parse_bad("POST / HTTP/1.1\r\nContent-Length: "
+                      "99999999999999999999999\r\n\r\n",
+                      limits),
+            413);
 }
 
 TEST(HttpSerialize, FramesStatusHeadersBody) {
