@@ -1,0 +1,152 @@
+// Perf: the SIMD kernel layer, scalar dispatch vs the widest detected
+// ISA (DESIGN.md §12), plus the ANN centroid index vs the exact scan.
+//
+// Every benchmark here runs twice — Arg(0) forces scalar dispatch,
+// Arg(1) the widest ISA the CPU reports — so the committed baseline
+// pins both the absolute times and the vector-vs-scalar ratio. The
+// outputs are bit-identical between the two runs by the §12 contract;
+// only the wall time may differ. The distance-tile pair is the headline:
+// the packed dot4 path is expected to hold ≥2× over scalar on AVX2.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_grid.h"
+#include "dsp/fft.h"
+#include "ml/centroid_index.h"
+#include "ml/distance.h"
+#include "pipeline/traffic_matrix.h"
+#include "simd/simd.h"
+
+namespace {
+
+using namespace cellscope;
+
+constexpr std::size_t kDim = 1008;  // mean-week fold length
+
+simd::Isa isa_for(int arg) {
+  return arg == 0 ? simd::Isa::kScalar : simd::detected_isa();
+}
+
+/// Forces dispatch for the duration of one benchmark run and labels the
+/// row with the ISA it actually measured.
+struct IsaScope {
+  IsaScope(benchmark::State& state) {
+    const simd::Isa isa = isa_for(static_cast<int>(state.range(0)));
+    simd::force_isa(isa);
+    state.SetLabel(std::string(simd::isa_name(isa)));
+  }
+  ~IsaScope() { simd::force_isa(std::nullopt); }
+};
+
+const std::vector<std::vector<double>>& kernel_points() {
+  static const std::vector<std::vector<double>> points = [] {
+    const std::size_t n = bench::bench_towers();
+    Rng rng(bench::bench_seed());
+    std::vector<std::vector<double>> p(n, std::vector<double>(kDim));
+    for (auto& row : p)
+      for (auto& v : row) v = rng.normal();
+    return p;
+  }();
+  return points;
+}
+
+/// The headline pair: the blocked distance kernel (serial, so the delta
+/// is pure kernel arithmetic, not pool scheduling).
+void BM_SimdDistanceTile(benchmark::State& state) {
+  const auto& points = kernel_points();
+  IsaScope scope(state);
+  for (auto _ : state) {
+    auto d = DistanceMatrix::compute(points);
+    benchmark::DoNotOptimize(d);
+  }
+  const auto n = points.size();
+  state.SetItemsProcessed(static_cast<std::int64_t>(n * (n - 1) / 2) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimdDistanceTile)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimdZscoreFold(benchmark::State& state) {
+  static const TrafficMatrix& matrix = [] {
+    static TrafficMatrix m;
+    Rng rng(bench::bench_seed());
+    for (std::size_t i = 0; i < bench::bench_towers(); ++i) {
+      m.tower_ids.push_back(static_cast<std::uint32_t>(i));
+      std::vector<double> row(TimeGrid::kSlots);
+      for (auto& v : row) v = 100.0 + 50.0 * rng.normal();
+      m.rows.push_back(std::move(row));
+    }
+    return m;
+  }();
+  IsaScope scope(state);
+  for (auto _ : state) {
+    auto folded = fold_to_week(zscore_rows(matrix));
+    benchmark::DoNotOptimize(folded);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(matrix.n() * TimeGrid::kSlots) *
+      state.iterations());
+}
+BENCHMARK(BM_SimdZscoreFold)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimdFft(benchmark::State& state) {
+  // The Bluestein path over the full 4032-slot month: chirp products and
+  // the m=8192 radix-2 butterflies both go through the dispatcher.
+  static const std::vector<Complex>& input = [] {
+    static std::vector<Complex> in(TimeGrid::kSlots);
+    Rng rng(bench::bench_seed());
+    for (auto& c : in) c = Complex(rng.normal(), rng.normal());
+    return in;
+  }();
+  IsaScope scope(state);
+  for (auto _ : state) {
+    auto spectrum = fft(input, false);
+    benchmark::DoNotOptimize(spectrum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(input.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimdFft)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// ANN centroid matching vs the exact scan it replaced: Arg(0) scans all
+/// centroids, Arg(1) walks the neighbor graph. Both return exact
+/// distances; the graph is sublinear in the centroid count.
+void BM_AnnClassify(benchmark::State& state) {
+  static const std::vector<std::vector<double>>& centroids = [] {
+    static std::vector<std::vector<double>> c;
+    Rng rng(bench::bench_seed());
+    const std::size_t k = std::max<std::size_t>(bench::bench_towers(), 128);
+    for (std::size_t i = 0; i < k; ++i) {
+      std::vector<double> row(TimeGrid::kSlotsPerWeek);
+      for (auto& v : row) v = static_cast<double>(i % 32) + rng.normal();
+      c.push_back(std::move(row));
+    }
+    return c;
+  }();
+  CentroidIndex::Options options;
+  if (state.range(0) == 0)
+    options.brute_force_below = centroids.size() + 1;  // exact scan
+  const CentroidIndex index(centroids, options);
+  state.SetLabel(index.brute_force() ? "scan" : "graph");
+  Rng rng(bench::bench_seed() + 1);
+  std::vector<double> query(TimeGrid::kSlotsPerWeek);
+  for (auto& v : query) v = rng.normal();
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    // Vary the query cheaply so the walk is not a single cached path.
+    query[cursor % query.size()] += 1.0;
+    ++cursor;
+    auto best = index.nearest(query);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnnClassify)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+CELLSCOPE_BENCH_JSON("perf_simd");

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# SIMD bit-identity check: build the kernel-oracle and equivalence
+# suites, then run `ctest -L 'simd|par'` twice — once with dispatch
+# forced to the scalar reference kernels (CELLSCOPE_SIMD=scalar) and
+# once on the widest ISA the CPU reports (CELLSCOPE_SIMD=auto, the
+# default). The suites assert bit-for-bit equality between the paths
+# (DESIGN.md §12), so any reassociated reduction, fused multiply-add,
+# or remainder-lane bug in a vector kernel fails the run.
+#
+# Usage:
+#   scripts/check_simd.sh              # build (incremental), run both passes
+#   CELLSCOPE_BUILD_DIR=... scripts/check_simd.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${CELLSCOPE_BUILD_DIR:-${repo_root}/build}"
+
+# Configure every run: a no-op on a warm cache, and it picks up new
+# targets after CMakeLists changes.
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j --target test_simd --target test_parallel
+
+echo "check_simd: pass 1/2 — dispatch forced scalar (reference kernels)"
+CELLSCOPE_SIMD=scalar \
+  ctest --test-dir "${build_dir}" -L 'simd|par' --output-on-failure
+
+echo "check_simd: pass 2/2 — widest detected ISA (auto dispatch)"
+CELLSCOPE_SIMD=auto \
+  ctest --test-dir "${build_dir}" -L 'simd|par' --output-on-failure
+
+echo "check_simd: scalar and vector dispatch agree bit-for-bit"

@@ -1,5 +1,6 @@
 #include "common/failpoint.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -80,12 +81,18 @@ class Registry {
                               entry + "'");
       const std::string name = trim(entry.substr(0, eq));
       const std::string count = trim(entry.substr(eq + 1));
-      char* end = nullptr;
-      const long charges = std::strtol(count.c_str(), &end, 10);
-      if (count.empty() || end == nullptr || *end != '\0')
-        throw InvalidArgument("failpoint spec count must be an integer: '" +
+      // from_chars instead of strtol: strtol saturates overflow to
+      // LONG_MAX (then the int cast mangled it further), silently arming
+      // a different charge count than the operator wrote. Out-of-range
+      // is a malformed entry like any other: reported and skipped.
+      int charges = 0;
+      const char* begin = count.c_str();
+      const char* end = begin + count.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, charges);
+      if (count.empty() || ec != std::errc() || ptr != end)
+        throw InvalidArgument("failpoint spec count must fit an int: '" +
                               entry + "'");
-      entries_[name].charges = static_cast<int>(charges);
+      entries_[name].charges = charges;
     }
   }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "simd/simd.h"
 
 namespace cellscope {
 
@@ -20,19 +21,23 @@ void fft_radix2_inplace(std::vector<Complex>& a, bool inverse) {
     if (i < j) std::swap(a[i], a[j]);
   }
 
+  // Per-stage twiddle table, filled with the same sequential `w *= wlen`
+  // recurrence the old per-block loop ran — every block of a stage used
+  // an identical twiddle sequence, so hoisting it changes nothing bit-wise
+  // and lets the butterfly sweep go through the simd dispatcher.
+  std::vector<Complex> twiddles(n / 2);
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
     const Complex wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const Complex u = a[i + j];
-        const Complex v = a[i + j + len / 2] * w;
-        a[i + j] = u + v;
-        a[i + j + len / 2] = u - v;
-        w *= wlen;
-      }
+    const std::size_t half = len / 2;
+    Complex w(1.0, 0.0);
+    for (std::size_t j = 0; j < half; ++j) {
+      twiddles[j] = w;
+      w *= wlen;
     }
+    for (std::size_t i = 0; i < n; i += len)
+      simd::fft_butterfly(a.data() + i, a.data() + i + half, twiddles.data(),
+                          half);
   }
   if (inverse) {
     for (auto& x : a) x /= static_cast<double>(n);
@@ -62,7 +67,7 @@ std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
 
   std::vector<Complex> a(m, Complex(0.0, 0.0));
   std::vector<Complex> b(m, Complex(0.0, 0.0));
-  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+  simd::complex_multiply(input.data(), chirp.data(), a.data(), n);
   for (std::size_t k = 0; k < n; ++k) {
     b[k] = std::conj(chirp[k]);
     if (k != 0) b[m - k] = std::conj(chirp[k]);
@@ -70,11 +75,11 @@ std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
 
   fft_radix2_inplace(a, false);
   fft_radix2_inplace(b, false);
-  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  simd::complex_multiply(a.data(), b.data(), a.data(), m);
   fft_radix2_inplace(a, true);
 
   std::vector<Complex> out(n);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  simd::complex_multiply(a.data(), chirp.data(), out.data(), n);
   if (inverse) {
     for (auto& x : out) x /= static_cast<double>(n);
   }

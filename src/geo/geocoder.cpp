@@ -1,6 +1,7 @@
 #include "geo/geocoder.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 
 #include "common/error.h"
@@ -58,7 +59,12 @@ std::optional<LatLon> AddressCodec::decode(const std::string& address) const {
     if (digits.empty() ||
         digits.find_first_not_of("0123456789") != std::string::npos)
       return std::nullopt;
-    const int v = std::atoi(digits.c_str());
+    // from_chars, not atoi: a digit run longer than int is undefined
+    // behavior under atoi and must reject, not wrap or saturate.
+    int v = 0;
+    const char* end = digits.data() + digits.size();
+    const auto [ptr, ec] = std::from_chars(digits.data(), end, v);
+    if (ec != std::errc() || ptr != end) return std::nullopt;
     if (v < 0 || v >= limit * limit) return std::nullopt;
     return v;
   };

@@ -1,0 +1,213 @@
+#include "ml/centroid_index.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <queue>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace cellscope {
+
+namespace {
+
+std::size_t env_count(const char* name, std::size_t fallback) {
+  const char* spec = std::getenv(name);
+  if (spec == nullptr || *spec == '\0') return fallback;
+  std::size_t value = 0;
+  const char* end = spec + std::strlen(spec);
+  const auto [ptr, ec] = std::from_chars(spec, end, value);
+  if (ec != std::errc() || ptr != end) {
+    std::fprintf(stderr,
+                 "cellscope: ignoring %s='%s' (expected a non-negative "
+                 "integer)\n",
+                 name, spec);
+    return fallback;
+  }
+  return value;
+}
+
+/// (distance, index) ordered so ties resolve to the lower index — every
+/// heap decision below is deterministic for a given build.
+struct Scored {
+  double distance;
+  std::uint32_t index;
+};
+struct FartherFirst {
+  bool operator()(const Scored& a, const Scored& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  }
+};
+struct CloserFirst {
+  bool operator()(const Scored& a, const Scored& b) const {
+    if (a.distance != b.distance) return a.distance > b.distance;
+    return a.index > b.index;
+  }
+};
+
+}  // namespace
+
+CentroidIndex::Options CentroidIndex::Options::from_env() {
+  Options options;
+  options.bilink = env_count("CELLSCOPE_ANN_BILINK", options.bilink);
+  options.nlist = env_count("CELLSCOPE_ANN_NLIST", options.nlist);
+  options.brute_force_below =
+      env_count("CELLSCOPE_ANN_BRUTE_BELOW", options.brute_force_below);
+  return options;
+}
+
+CentroidIndex::CentroidIndex(const std::vector<std::vector<double>>& centroids,
+                             Options options)
+    : options_(options), n_(centroids.size()) {
+  CS_CHECK_MSG(n_ > 0, "centroid index needs at least one centroid");
+  dim_ = centroids[0].size();
+  flat_.resize(n_ * dim_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    CS_CHECK_MSG(centroids[i].size() == dim_,
+                 "all centroids must have equal dimension");
+    std::copy(centroids[i].begin(), centroids[i].end(),
+              flat_.begin() + i * dim_);
+  }
+  if (n_ < options_.brute_force_below || options_.bilink == 0) return;
+
+  // Exact bilink-NN graph, symmetrized. The forward links alone make a
+  // directed kNN graph whose in-degree can collapse around hubs; adding
+  // reverse edges and pruning back to the closest keeps every node
+  // reachable without unbounded degree.
+  const std::size_t degree = std::min(options_.bilink, n_ - 1);
+  neighbors_.assign(n_, {});
+  std::vector<Scored> scored(n_ - 1);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j == i) continue;
+      scored[w++] = {squared_distance(centroid(i), centroid(j)),
+                     static_cast<std::uint32_t>(j)};
+    }
+    std::partial_sort(scored.begin(), scored.begin() + degree, scored.end(),
+                      [](const Scored& a, const Scored& b) {
+                        if (a.distance != b.distance)
+                          return a.distance < b.distance;
+                        return a.index < b.index;
+                      });
+    neighbors_[i].reserve(2 * degree + 2);
+    for (std::size_t r = 0; r < degree; ++r)
+      neighbors_[i].push_back(scored[r].index);
+  }
+  // Chain edges i ↔ i+1 guarantee the graph is connected no matter how
+  // the kNN links cluster (duplicate-heavy models otherwise split into
+  // cliques the walk can never leave). They are exempt from pruning.
+  const auto ensure_link = [this](std::size_t from, std::size_t to) {
+    auto& list = neighbors_[from];
+    const auto link = static_cast<std::uint32_t>(to);
+    if (std::find(list.begin(), list.end(), link) == list.end())
+      list.push_back(link);
+  };
+  for (std::size_t i = 0; i + 1 < n_; ++i) {
+    ensure_link(i, i + 1);
+    ensure_link(i + 1, i);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t r = 0; r < degree; ++r) {
+      const std::uint32_t j = neighbors_[i][r];
+      auto& back = neighbors_[j];
+      if (std::find(back.begin(), back.end(),
+                    static_cast<std::uint32_t>(i)) == back.end())
+        back.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    auto& list = neighbors_[i];
+    if (list.size() <= 2 * degree) continue;
+    std::vector<Scored> ranked(list.size());
+    for (std::size_t r = 0; r < list.size(); ++r)
+      ranked[r] = {squared_distance(centroid(i), centroid(list[r])), list[r]};
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Scored& a, const Scored& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.index < b.index;
+              });
+    list.clear();
+    for (std::size_t r = 0; r < 2 * degree; ++r)
+      list.push_back(ranked[r].index);
+    // Keep the chain links even when pruned out by rank.
+    if (i > 0) ensure_link(i, i - 1);
+    if (i + 1 < n_) ensure_link(i, i + 1);
+  }
+}
+
+std::size_t CentroidIndex::scan_all(std::span<const double> query,
+                                    double* distance_out) const {
+  // The reference rule: ascending index, strict <, so ties keep the
+  // first (lowest) index — identical to the pre-index classify loop.
+  double best = squared_distance(query, centroid(0));
+  std::size_t best_index = 0;
+  for (std::size_t c = 1; c < n_; ++c) {
+    const double d = squared_distance(query, centroid(c));
+    if (d < best) {
+      best = d;
+      best_index = c;
+    }
+  }
+  if (distance_out != nullptr) *distance_out = best;
+  return best_index;
+}
+
+std::size_t CentroidIndex::nearest(std::span<const double> query,
+                                   double* distance_out) const {
+  CS_CHECK_MSG(query.size() == dim_,
+               "query dimension must match the centroids");
+  if (neighbors_.empty()) return scan_all(query, distance_out);
+
+  const std::size_t beam = std::max<std::size_t>(options_.nlist, 1);
+  std::vector<char> visited(n_, 0);
+  std::vector<Scored> scored;  // every node we paid an exact distance for
+  scored.reserve(4 * beam);
+  // `frontier` pops the closest unexpanded node; `bound` keeps the beam's
+  // worst retained distance so the walk stops once no frontier node can
+  // improve on the beam.
+  std::priority_queue<Scored, std::vector<Scored>, CloserFirst> frontier;
+  std::priority_queue<Scored, std::vector<Scored>, FartherFirst> bound;
+
+  const auto visit = [&](std::uint32_t node) {
+    if (visited[node]) return;
+    visited[node] = 1;
+    const Scored s{squared_distance(query, centroid(node)), node};
+    scored.push_back(s);
+    if (bound.size() < beam) {
+      frontier.push(s);
+      bound.push(s);
+    } else if (s.distance < bound.top().distance) {
+      frontier.push(s);
+      bound.pop();
+      bound.push(s);
+    }
+  };
+
+  visit(0);  // fixed, deterministic entry point
+  while (!frontier.empty()) {
+    const Scored current = frontier.top();
+    frontier.pop();
+    if (bound.size() >= beam && current.distance > bound.top().distance)
+      break;
+    for (const std::uint32_t nb : neighbors_[current.index]) visit(nb);
+  }
+
+  // Rescore: exact argmin over everything visited, lowest index on ties —
+  // the same tie-break the brute-force scan applies.
+  const Scored* best = &scored.front();
+  for (const Scored& s : scored) {
+    if (s.distance < best->distance ||
+        (s.distance == best->distance && s.index < best->index)) {
+      best = &s;
+    }
+  }
+  if (distance_out != nullptr) *distance_out = best->distance;
+  return best->index;
+}
+
+}  // namespace cellscope

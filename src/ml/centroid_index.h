@@ -1,0 +1,81 @@
+// Sublinear nearest-centroid matching for online classification.
+//
+// A CentroidIndex freezes a set of centroids (folded z-scored weeks in
+// the serving plane) behind a small navigable neighbor graph, so a
+// classify() call touches O(bilink · nlist) centroids instead of all k.
+// The construction follows the flat-graph ANN recipe used by
+// HNSW-family libraries: every node keeps links to its `bilink`
+// nearest peers (made bidirectional, pruned back to the closest), and
+// a query runs greedy best-first search with a candidate beam of
+// `nlist`, then rescores every visited node with the exact squared
+// distance.
+//
+// Exactness contract: below `brute_force_below` centroids the index
+// does not build a graph at all — nearest() is the same ascending-index
+// strict-< argmin scan OnlineClassifier::classify always ran, so the
+// paper's five-pattern model is bit-for-bit unchanged. Above it the
+// graph search is approximate in the usual ANN sense (it can miss the
+// true nearest when the graph is disconnected around the query), but
+// the final answer is always an exact distance to a real centroid —
+// there is no compressed or quantized scoring anywhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cellscope {
+
+class CentroidIndex {
+ public:
+  /// Search/build knobs, overridable per-process via environment:
+  /// CELLSCOPE_ANN_BILINK, CELLSCOPE_ANN_NLIST,
+  /// CELLSCOPE_ANN_BRUTE_BELOW (malformed values are ignored with a
+  /// stderr note, never clamped silently).
+  struct Options {
+    /// Graph degree: nearest peers linked per centroid.
+    std::size_t bilink = 8;
+    /// Query beam width: candidates kept live during the graph walk.
+    std::size_t nlist = 32;
+    /// Centroid counts below this skip the graph entirely and scan —
+    /// exact by construction, and faster than a graph walk at small k.
+    std::size_t brute_force_below = 64;
+
+    static Options from_env();
+  };
+
+  CentroidIndex() = default;
+
+  /// All centroids must share one dimension. Builds the neighbor graph
+  /// eagerly (O(k²·dim) once, at model-freeze time) unless k falls
+  /// under brute_force_below.
+  explicit CentroidIndex(const std::vector<std::vector<double>>& centroids,
+                         Options options = Options::from_env());
+
+  /// Index of the matched centroid; *distance_out (optional) receives
+  /// the exact squared distance to it. Ties keep the lowest index.
+  std::size_t nearest(std::span<const double> query,
+                      double* distance_out = nullptr) const;
+
+  std::size_t size() const { return n_; }
+  std::size_t dim() const { return dim_; }
+  /// True when nearest() is the exact full scan (no graph built).
+  bool brute_force() const { return neighbors_.empty(); }
+  const Options& options() const { return options_; }
+
+ private:
+  std::span<const double> centroid(std::size_t i) const {
+    return {flat_.data() + i * dim_, dim_};
+  }
+  std::size_t scan_all(std::span<const double> query,
+                       double* distance_out) const;
+
+  Options options_;
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<double> flat_;  // row-major n_ × dim_
+  /// Adjacency lists; empty when in brute-force mode.
+  std::vector<std::vector<std::uint32_t>> neighbors_;
+};
+
+}  // namespace cellscope

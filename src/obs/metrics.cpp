@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 #include "common/error.h"
@@ -22,7 +23,20 @@ void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) noexcept 
   }
 }
 
+/// JSON has no literal for NaN or infinity — a bare `nan` token makes
+/// the whole /metrics.json document unparseable. Non-finite values
+/// serialize as null, matching the serving plane's json_double.
 std::string format_json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Prometheus exposition text, by contrast, spells non-finite values out.
+std::string format_prom_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
@@ -297,13 +311,13 @@ std::string MetricsRegistry::snapshot_prometheus() const {
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < bounds.size(); ++i) {
       cumulative += counts[i];
-      text += exposed + "_bucket{le=\"" + format_json_double(bounds[i]) +
+      text += exposed + "_bucket{le=\"" + format_prom_double(bounds[i]) +
               "\"} " + std::to_string(cumulative) + '\n';
     }
     cumulative += counts.back();
     text += exposed + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
             '\n';
-    text += exposed + "_sum " + format_json_double(h->sum()) + '\n';
+    text += exposed + "_sum " + format_prom_double(h->sum()) + '\n';
     text += exposed + "_count " + std::to_string(cumulative) + '\n';
     rows.emplace_back(exposed, std::move(text));
   }

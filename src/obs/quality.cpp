@@ -166,7 +166,9 @@ std::string QualityBoard::verdicts_json() const {
             json_escape(v.stage) + "\",\"severity\":\"" +
             std::string(severity_name(v.severity)) +
             "\",\"passed\":" + (v.passed ? "true" : "false") +
-            ",\"value\":" + format_value(v.value) + ",\"detail\":\"" +
+            ",\"value\":" +
+            (std::isfinite(v.value) ? format_value(v.value) : "null") +
+            ",\"detail\":\"" +
             json_escape(v.detail) + "\"}";
   }
   json += "]";

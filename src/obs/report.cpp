@@ -1,6 +1,7 @@
 #include "obs/report.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -26,6 +27,7 @@ namespace cellscope::obs {
 namespace {
 
 std::string format_json_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no nan/inf literal
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6f", v);
   return buf;

@@ -314,18 +314,11 @@ HttpResponse QueryService::handle_classify(const HttpRequest& request) const {
   if (folded.size() != static_cast<std::size_t>(TimeGrid::kSlotsPerWeek))
     return error_response(400, "folded week must have 1008 slots");
 
-  // Nearest folded-week centroid — the same scoring rule
+  // Nearest folded-week centroid — the same ANN-backed scoring rule
   // OnlineClassifier::classify applies to a live window.
   const ModelSnapshot& snapshot = classifier->model();
-  double best = squared_distance(folded, snapshot.centroids[0]);
-  std::size_t best_cluster = 0;
-  for (std::size_t c = 1; c < snapshot.centroids.size(); ++c) {
-    const double d = squared_distance(folded, snapshot.centroids[c]);
-    if (d < best) {
-      best = d;
-      best_cluster = c;
-    }
-  }
+  double best = 0.0;
+  const std::size_t best_cluster = classifier->nearest_centroid(folded, &best);
 
   std::string json = "{\"cluster\":" + std::to_string(best_cluster);
   json += ",\"region\":\"" +

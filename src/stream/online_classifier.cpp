@@ -57,7 +57,9 @@ ModelSnapshot snapshot_model(const Experiment& experiment) {
 }
 
 OnlineClassifier::OnlineClassifier(ModelSnapshot model)
-    : model_(std::move(model)), forecaster_(model_.centroids) {
+    : model_(std::move(model)),
+      forecaster_(model_.centroids),
+      index_(model_.centroids) {
   CS_CHECK_MSG(!model_.centroids.empty(), "model needs at least one cluster");
   CS_CHECK_MSG(model_.regions.size() == model_.centroids.size() &&
                    model_.populations.size() == model_.centroids.size(),
@@ -85,15 +87,8 @@ Classification OnlineClassifier::classify(const TowerWindow& window) const {
 
   const auto zscored = window.zscored();
   const auto folded = fold_to_week({zscored}).front();
-  double best = squared_distance(folded, model_.centroids[0]);
-  std::size_t best_cluster = 0;
-  for (std::size_t c = 1; c < model_.centroids.size(); ++c) {
-    const double d = squared_distance(folded, model_.centroids[c]);
-    if (d < best) {
-      best = d;
-      best_cluster = c;
-    }
-  }
+  double best = 0.0;
+  const std::size_t best_cluster = index_.nearest(folded, &best);
   out.cluster = best_cluster;
   out.region = model_.regions[best_cluster];
   out.distance = best;

@@ -55,6 +55,22 @@ TEST_F(FailpointTest, MalformedSpecThrowsInvalidArgument) {
   EXPECT_THROW(fp::arm_from_spec("fault.test.x="), InvalidArgument);
 }
 
+TEST_F(FailpointTest, OverflowingChargeCountIsRejectedNotClamped) {
+  // strtol used to saturate this to LONG_MAX and the int cast mangled it
+  // further — arming a charge count the operator never wrote. It must be
+  // treated as malformed (the env path reports and skips it) and leave
+  // the failpoint unarmed.
+  EXPECT_THROW(fp::arm_from_spec("fault.test.x=99999999999999999999"),
+               InvalidArgument);
+  EXPECT_FALSE(fp::fire("fault.test.x"));
+  EXPECT_THROW(fp::arm_from_spec("fault.test.x=-99999999999999999999"),
+               InvalidArgument);
+  EXPECT_FALSE(fp::fire("fault.test.x"));
+  // INT_MAX itself still fits.
+  fp::arm_from_spec("fault.test.x=2147483647");
+  EXPECT_TRUE(fp::fire("fault.test.x"));
+}
+
 TEST_F(FailpointTest, DisarmingUnknownNameIsANoOp) {
   EXPECT_NO_THROW(fp::disarm("fault.test.never-armed"));
 }

@@ -46,6 +46,26 @@ TEST(AddressCodec, MalformedAddressesDecodeToNull) {
   EXPECT_FALSE(codec.decode("Distric-1/Street-2/No-3").has_value());
 }
 
+TEST(AddressCodec, OverlongDigitRunsDecodeToNullNotUndefinedBehavior) {
+  // std::atoi on a digit run wider than int is undefined behavior; the
+  // from_chars decode must reject these instead of wrapping into a
+  // (possibly in-range) value that silently geocodes somewhere.
+  const AddressCodec codec(shanghai_bbox());
+  const std::string thirty_digits(30, '9');
+  EXPECT_FALSE(
+      codec.decode("District-" + thirty_digits + "/Street-2/No-3")
+          .has_value());
+  EXPECT_FALSE(
+      codec.decode("District-1/Street-" + thirty_digits + "/No-3")
+          .has_value());
+  EXPECT_FALSE(
+      codec.decode("District-1/Street-2/No-" + thirty_digits).has_value());
+  // Just past INT_MAX, and a zero-padded in-range value for contrast.
+  EXPECT_FALSE(
+      codec.decode("District-2147483648/Street-2/No-3").has_value());
+  EXPECT_TRUE(codec.decode("District-0001/Street-2/No-3").has_value());
+}
+
 TEST(Geocoder, ResolvesAddressesItIssued) {
   Geocoder geocoder(shanghai_bbox());
   const LatLon p{31.15, 121.35};

@@ -1,0 +1,160 @@
+// CentroidIndex: the ANN layer behind OnlineClassifier::nearest_centroid.
+//
+// The contract under test: below brute_force_below the index IS the
+// classic ascending-index strict-< scan (exact by construction, so the
+// paper's five-pattern model is untouched); above it the graph search
+// must still agree with the exact scan on separated data, keep the
+// lowest index on ties, and report exact distances in both modes.
+#include "ml/centroid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace cellscope {
+namespace {
+
+std::vector<std::vector<double>> blob_centroids(std::size_t count,
+                                                std::size_t dim,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> centroids(count,
+                                             std::vector<double>(dim));
+  for (std::size_t c = 0; c < count; ++c)
+    for (auto& v : centroids[c]) v = static_cast<double>(c) * 10.0 +
+                                     rng.normal();
+  return centroids;
+}
+
+std::size_t exact_nearest(const std::vector<std::vector<double>>& centroids,
+                          std::span<const double> query, double* best_out) {
+  double best = squared_distance(query, centroids[0]);
+  std::size_t best_index = 0;
+  for (std::size_t c = 1; c < centroids.size(); ++c) {
+    const double d = squared_distance(query, centroids[c]);
+    if (d < best) {
+      best = d;
+      best_index = c;
+    }
+  }
+  if (best_out != nullptr) *best_out = best;
+  return best_index;
+}
+
+TEST(CentroidIndex, SmallModelsStayExactBruteForce) {
+  // Five centroids — the paper's five-pattern model — sit far below the
+  // default brute_force_below, so no graph is built and every query is
+  // the pre-index scan verbatim.
+  const auto centroids = blob_centroids(5, 24, 1);
+  const CentroidIndex index(centroids);
+  EXPECT_TRUE(index.brute_force());
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> query(24);
+    for (auto& v : query)
+      v = static_cast<double>(trial % 5) * 10.0 + 3.0 * rng.normal();
+    double want_dist = 0.0;
+    const std::size_t want = exact_nearest(centroids, query, &want_dist);
+    double got_dist = 0.0;
+    EXPECT_EQ(index.nearest(query, &got_dist), want);
+    EXPECT_EQ(got_dist, want_dist);
+  }
+}
+
+TEST(CentroidIndex, GraphSearchAgreesWithExactScanOnSeparatedData) {
+  const auto centroids = blob_centroids(200, 16, 3);
+  CentroidIndex::Options options;
+  const CentroidIndex index(centroids, options);
+  EXPECT_FALSE(index.brute_force());
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> query(16);
+    const double center = static_cast<double>(trial % 200) * 10.0;
+    for (auto& v : query) v = center + 2.0 * rng.normal();
+    double want_dist = 0.0;
+    const std::size_t want = exact_nearest(centroids, query, &want_dist);
+    double got_dist = 0.0;
+    const std::size_t got = index.nearest(query, &got_dist);
+    EXPECT_EQ(got, want) << "trial " << trial;
+    EXPECT_EQ(got_dist, want_dist) << "trial " << trial;
+  }
+}
+
+TEST(CentroidIndex, TiesKeepTheLowestIndexInBothModes) {
+  // Duplicate centroids: whichever mode answers, the first index wins —
+  // the same tie-break the original classify loop's strict < applied.
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {-4.0, 0.0, 9.0};
+  const std::vector<std::vector<double>> duplicated = {b, a, a, b, a};
+  const CentroidIndex small(duplicated);
+  EXPECT_EQ(small.nearest(a), 1u);
+  EXPECT_EQ(small.nearest(b), 0u);
+
+  std::vector<std::vector<double>> many;
+  for (int i = 0; i < 100; ++i) many.push_back(i % 2 == 0 ? a : b);
+  CentroidIndex::Options options;
+  options.brute_force_below = 4;  // force the graph path
+  const CentroidIndex graph(many, options);
+  EXPECT_FALSE(graph.brute_force());
+  EXPECT_EQ(graph.nearest(a), 0u);
+  EXPECT_EQ(graph.nearest(b), 1u);
+}
+
+TEST(CentroidIndex, BruteForceBelowKnobSelectsTheMode) {
+  const auto centroids = blob_centroids(30, 8, 5);
+  CentroidIndex::Options scan;
+  scan.brute_force_below = 64;
+  EXPECT_TRUE(CentroidIndex(centroids, scan).brute_force());
+  CentroidIndex::Options graph;
+  graph.brute_force_below = 10;
+  EXPECT_FALSE(CentroidIndex(centroids, graph).brute_force());
+  // And the two modes agree here regardless.
+  const CentroidIndex exact(centroids, scan);
+  const CentroidIndex ann(centroids, graph);
+  Rng rng(6);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<double> query(8);
+    for (auto& v : query)
+      v = static_cast<double>(trial % 30) * 10.0 + rng.normal();
+    EXPECT_EQ(ann.nearest(query), exact.nearest(query));
+  }
+}
+
+TEST(CentroidIndex, EnvKnobsOverrideDefaultsAndRejectGarbage) {
+  setenv("CELLSCOPE_ANN_BILINK", "4", 1);
+  setenv("CELLSCOPE_ANN_NLIST", "12", 1);
+  setenv("CELLSCOPE_ANN_BRUTE_BELOW", "2", 1);
+  auto options = CentroidIndex::Options::from_env();
+  EXPECT_EQ(options.bilink, 4u);
+  EXPECT_EQ(options.nlist, 12u);
+  EXPECT_EQ(options.brute_force_below, 2u);
+  // Malformed and overflowing values fall back to the defaults — not a
+  // clamp, not a crash.
+  setenv("CELLSCOPE_ANN_BILINK", "lots", 1);
+  setenv("CELLSCOPE_ANN_NLIST", "99999999999999999999999999", 1);
+  unsetenv("CELLSCOPE_ANN_BRUTE_BELOW");
+  options = CentroidIndex::Options::from_env();
+  const CentroidIndex::Options defaults;
+  EXPECT_EQ(options.bilink, defaults.bilink);
+  EXPECT_EQ(options.nlist, defaults.nlist);
+  EXPECT_EQ(options.brute_force_below, defaults.brute_force_below);
+  unsetenv("CELLSCOPE_ANN_BILINK");
+  unsetenv("CELLSCOPE_ANN_NLIST");
+}
+
+TEST(CentroidIndex, RejectsEmptyAndMismatchedInputs) {
+  const std::vector<std::vector<double>> empty;
+  EXPECT_THROW(CentroidIndex index(empty), Error);
+  const std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(CentroidIndex index(ragged), Error);
+  const CentroidIndex index(blob_centroids(3, 4, 7));
+  const std::vector<double> wrong_dim = {1.0, 2.0};
+  EXPECT_THROW(index.nearest(wrong_dim), Error);
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -8,20 +8,29 @@
 // (no tolerances), and check the incremental DBI sweep against a
 // brute-force per-k oracle. Built as its own binary (label: par) so the
 // CELLSCOPE_SANITIZE=thread build can run it in isolation.
+// The same contract extends across SIMD dispatch: the vector kernels in
+// src/simd/ accumulate every output in the scalar order (DESIGN.md §12),
+// so forcing scalar vs the widest detected ISA must also be
+// bit-identical — including remainder lanes, odd dimensions, and
+// non-finite inputs (compared bitwise, since NaN != NaN).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <vector>
 
 #include "analysis/freq_features.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/time_grid.h"
+#include "dsp/fft.h"
 #include "mapred/thread_pool.h"
 #include "ml/distance.h"
 #include "ml/hierarchical.h"
 #include "ml/validity.h"
 #include "pipeline/traffic_matrix.h"
+#include "simd/simd.h"
 
 namespace cellscope {
 namespace {
@@ -215,6 +224,113 @@ TEST(ParallelEquivalence, ThresholdCutsMatchLinearScan) {
     EXPECT_EQ(dendrogram.cluster_count_at(t), dendrogram.n() - m);
     EXPECT_EQ(num_clusters(dendrogram.cut_threshold(t)), dendrogram.n() - m);
   }
+}
+
+/// Restores automatic dispatch when a test scope ends, pass or fail.
+struct ForcedIsa {
+  explicit ForcedIsa(simd::Isa isa) { simd::force_isa(isa); }
+  ~ForcedIsa() { simd::force_isa(std::nullopt); }
+};
+
+/// Scalar plus the widest ISA this CPU actually has (just scalar when
+/// that is all there is — the sweep then degenerates to a self-check).
+std::vector<simd::Isa> sweep_isas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (simd::detected_isa() != simd::Isa::kScalar)
+    isas.push_back(simd::detected_isa());
+  return isas;
+}
+
+/// Bitwise equality — EXPECT_EQ on doubles/floats treats NaN as unequal
+/// to itself, and the dispatch contract is about bit patterns anyway.
+template <typename T>
+bool bit_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+TEST(SimdDispatchEquivalence, DistanceMatrixBitIdenticalAcrossIsas) {
+  // Odd dimensions and point counts so the packed dot4 groups leave
+  // scalar heads (js past a group boundary) and ragged tails, plus a
+  // dimension below the vector width.
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {33, 7}, {157, 31}, {45, 3}, {9, 64}};
+  for (const auto& [n, dim] : shapes) {
+    const auto points = random_points(n, dim, 11);
+    std::vector<std::vector<float>> results;
+    for (const simd::Isa isa : sweep_isas()) {
+      ForcedIsa forced(isa);
+      results.push_back(DistanceMatrix::compute(points).condensed());
+    }
+    for (std::size_t r = 1; r < results.size(); ++r)
+      EXPECT_TRUE(bit_equal(results[0], results[r]))
+          << "n=" << n << " dim=" << dim;
+  }
+}
+
+TEST(SimdDispatchEquivalence, DistanceMatrixNonFiniteBitIdentical) {
+  auto points = random_points(37, 13, 12);
+  points[3][5] = std::numeric_limits<double>::quiet_NaN();
+  points[10][0] = std::numeric_limits<double>::infinity();
+  points[20][12] = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<float>> results;
+  for (const simd::Isa isa : sweep_isas()) {
+    ForcedIsa forced(isa);
+    results.push_back(DistanceMatrix::compute(points).condensed());
+  }
+  for (std::size_t r = 1; r < results.size(); ++r)
+    EXPECT_TRUE(bit_equal(results[0], results[r]));
+}
+
+TEST(SimdDispatchEquivalence, FftBitIdenticalAcrossIsas) {
+  Rng rng(13);
+  // Power-of-two radix-2 path and the Bluestein path (1008 is the folded
+  // week; prime 251 exercises odd-length chirp products, whose tails run
+  // the vector kernels' scalar remainder lanes).
+  for (const std::size_t n : {std::size_t{1024}, std::size_t{1008},
+                              std::size_t{251}}) {
+    std::vector<Complex> input(n);
+    for (auto& c : input) c = Complex(rng.normal(), rng.normal());
+    std::vector<std::vector<Complex>> forward, inverse;
+    for (const simd::Isa isa : sweep_isas()) {
+      ForcedIsa forced(isa);
+      forward.push_back(fft(input, false));
+      inverse.push_back(fft(input, true));
+    }
+    for (std::size_t r = 1; r < forward.size(); ++r) {
+      EXPECT_TRUE(bit_equal(forward[0], forward[r])) << "n=" << n;
+      EXPECT_TRUE(bit_equal(inverse[0], inverse[r])) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdDispatchEquivalence, ZscoreAndFoldBitIdenticalAcrossIsas) {
+  Rng rng(14);
+  // Odd lengths force normalize's remainder lanes; the full-grid row
+  // goes through the same fold_to_week the pipeline runs.
+  for (const std::size_t n :
+       {std::size_t{5}, std::size_t{37}, std::size_t{1009}}) {
+    std::vector<double> series(n);
+    for (auto& v : series) v = 100.0 + 50.0 * rng.normal();
+    std::vector<std::vector<double>> results;
+    for (const simd::Isa isa : sweep_isas()) {
+      ForcedIsa forced(isa);
+      results.push_back(zscore(series));
+    }
+    for (std::size_t r = 1; r < results.size(); ++r)
+      EXPECT_TRUE(bit_equal(results[0], results[r])) << "n=" << n;
+  }
+  std::vector<double> row(TimeGrid::kSlots);
+  for (auto& v : row) v = rng.normal();
+  row[17] = std::numeric_limits<double>::quiet_NaN();  // non-finite too
+  std::vector<std::vector<double>> folds;
+  for (const simd::Isa isa : sweep_isas()) {
+    ForcedIsa forced(isa);
+    folds.push_back(fold_to_week({row}).front());
+  }
+  for (std::size_t r = 1; r < folds.size(); ++r)
+    EXPECT_TRUE(bit_equal(folds[0], folds[r]));
 }
 
 }  // namespace

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "common/json.h"
 
 namespace cellscope::obs {
 namespace {
@@ -202,6 +204,26 @@ TEST(MetricsRegistry, SnapshotJsonIncludesPercentiles) {
   EXPECT_NE(json.find("\"p50\":", at), std::string::npos);
   EXPECT_NE(json.find("\"p90\":", at), std::string::npos);
   EXPECT_NE(json.find("\"p99\":", at), std::string::npos);
+}
+
+TEST(MetricsRegistry, NonFiniteValuesSerializeAsNullAndStayParseable) {
+  auto& registry = MetricsRegistry::instance();
+  auto& h = registry.histogram("test.snapshot.nonfinite", {1.0, 10.0});
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  const auto json = registry.snapshot_json();
+  // A bare `nan`/`inf` token would make this throw — the whole /metrics.json
+  // endpoint used to become unparseable the moment any histogram saw a
+  // non-finite sample.
+  const JsonValue doc = JsonValue::parse(json);
+  const auto& hist = doc.at("histograms").at("test.snapshot.nonfinite");
+  EXPECT_TRUE(hist.at("sum").is_null());
+  EXPECT_TRUE(hist.at("p50").is_null() || hist.at("p50").is_number());
+  // Prometheus exposition spells non-finite out instead (NaN/+Inf/-Inf).
+  const auto prom = registry.snapshot_prometheus();
+  const auto sum_at = prom.find("test_snapshot_nonfinite_sum");
+  ASSERT_NE(sum_at, std::string::npos);
+  EXPECT_NE(prom.find("NaN", sum_at), std::string::npos);
 }
 
 TEST(Histogram, RejectsUnsortedBounds) {

@@ -1,0 +1,260 @@
+// Oracle tests for the SIMD kernel layer (DESIGN.md §12).
+//
+// Two claims are pinned per kernel, for every ISA the CPU supports:
+//   1. Correctness against a plainly-written oracle — the loop each
+//      kernel replaced, spelled out here independently of src/simd/.
+//      These comparisons are EXACT (EXPECT_EQ, no tolerance): the
+//      kernels' contract is bit-compatibility with the scalar order,
+//      not approximate agreement.
+//   2. Cross-ISA bit-identity on hostile inputs (NaN, ±inf, remainder
+//      lanes), compared bitwise since NaN != NaN.
+// Dispatch plumbing (detect/force/parse/clamp) is covered at the end.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "simd/simd.h"
+
+namespace cellscope {
+namespace {
+
+struct ForcedIsa {
+  explicit ForcedIsa(simd::Isa isa) { simd::force_isa(isa); }
+  ~ForcedIsa() { simd::force_isa(std::nullopt); }
+};
+
+std::vector<simd::Isa> sweep_isas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (simd::detected_isa() != simd::Isa::kScalar)
+    isas.push_back(simd::detected_isa());
+  return isas;
+}
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.normal();
+  return out;
+}
+
+bool bits_equal(const double* a, const double* b, std::size_t n) {
+  return std::memcmp(a, b, n * sizeof(double)) == 0;
+}
+
+TEST(SimdKernels, Dot4MatchesSequentialDotOracle) {
+  for (const std::size_t dim : {std::size_t{1}, std::size_t{7},
+                                std::size_t{32}, std::size_t{1008}}) {
+    const auto a = random_doubles(dim, 21);
+    const auto cols = random_doubles(4 * dim, 22);  // 4 columns, row-major
+    // Pack interleaved the way the distance kernel does.
+    std::vector<double> packed(4 * dim);
+    for (std::size_t d = 0; d < dim; ++d)
+      for (std::size_t l = 0; l < 4; ++l)
+        packed[4 * d + l] = cols[l * dim + d];
+    double want[4];
+    for (std::size_t l = 0; l < 4; ++l) {
+      double dot = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) dot += a[d] * cols[l * dim + d];
+      want[l] = dot;
+    }
+    for (const simd::Isa isa : sweep_isas()) {
+      ForcedIsa forced(isa);
+      double got[4];
+      simd::dot4(a.data(), packed.data(), dim, got);
+      for (std::size_t l = 0; l < 4; ++l)
+        EXPECT_EQ(want[l], got[l])
+            << "dim=" << dim << " lane=" << l << " isa="
+            << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(SimdKernels, NormalizeMatchesElementwiseOracle) {
+  // Every remainder class of the 4-wide (AVX2) and 2-wide (NEON) loops.
+  for (std::size_t n = 1; n <= 9; ++n) {
+    const auto v = random_doubles(n, 23);
+    const double mean = 0.375;
+    const double sd = 1.625;
+    std::vector<double> want(n);
+    for (std::size_t i = 0; i < n; ++i) want[i] = (v[i] - mean) / sd;
+    for (const simd::Isa isa : sweep_isas()) {
+      ForcedIsa forced(isa);
+      std::vector<double> got(n);
+      simd::normalize(v.data(), n, mean, sd, got.data());
+      EXPECT_EQ(want, got) << "n=" << n << " isa=" << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(SimdKernels, FoldMeanMatchesModuloAccumulationOracle) {
+  // The loop fold_to_week replaced: week[s % period] += row[s], then a
+  // single division — ascending s visits fold 0, 1, 2 per slot in order.
+  for (const std::size_t period :
+       {std::size_t{3}, std::size_t{5}, std::size_t{8}, std::size_t{1008}}) {
+    const std::size_t folds = 3;
+    const auto row = random_doubles(period * folds, 24);
+    std::vector<double> want(period, 0.0);
+    for (std::size_t s = 0; s < row.size(); ++s) want[s % period] += row[s];
+    for (auto& v : want) v /= static_cast<double>(folds);
+    for (const simd::Isa isa : sweep_isas()) {
+      ForcedIsa forced(isa);
+      std::vector<double> got(period);
+      simd::fold_mean(row.data(), period, folds, got.data());
+      EXPECT_EQ(want, got)
+          << "period=" << period << " isa=" << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(SimdKernels, FftButterflyMatchesNaiveComplexOracle) {
+  using Complex = std::complex<double>;
+  for (const std::size_t half :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{64}}) {
+    Rng rng(25);
+    std::vector<Complex> a0(half), b0(half), w(half);
+    for (std::size_t j = 0; j < half; ++j) {
+      a0[j] = Complex(rng.normal(), rng.normal());
+      b0[j] = Complex(rng.normal(), rng.normal());
+      w[j] = Complex(rng.normal(), rng.normal());
+    }
+    // Oracle: v = b·w by the naive formula, then (u+v, u−v).
+    std::vector<Complex> want_a(half), want_b(half);
+    for (std::size_t j = 0; j < half; ++j) {
+      const double vr = b0[j].real() * w[j].real() -
+                        b0[j].imag() * w[j].imag();
+      const double vi = b0[j].imag() * w[j].real() +
+                        b0[j].real() * w[j].imag();
+      want_a[j] = Complex(a0[j].real() + vr, a0[j].imag() + vi);
+      want_b[j] = Complex(a0[j].real() - vr, a0[j].imag() - vi);
+    }
+    for (const simd::Isa isa : sweep_isas()) {
+      ForcedIsa forced(isa);
+      auto a = a0;
+      auto b = b0;
+      simd::fft_butterfly(a.data(), b.data(), w.data(), half);
+      for (std::size_t j = 0; j < half; ++j) {
+        EXPECT_EQ(want_a[j], a[j])
+            << "half=" << half << " isa=" << simd::isa_name(isa);
+        EXPECT_EQ(want_b[j], b[j])
+            << "half=" << half << " isa=" << simd::isa_name(isa);
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ComplexMultiplyMatchesNaiveOracle) {
+  using Complex = std::complex<double>;
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{5}, std::size_t{33}}) {
+    Rng rng(26);
+    std::vector<Complex> x(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = Complex(rng.normal(), rng.normal());
+      y[i] = Complex(rng.normal(), rng.normal());
+    }
+    // For finite operands libstdc++'s operator* is the same naive
+    // formula (the Annex G repair only fires on NaN results), so the
+    // std::complex product IS the oracle — exactly.
+    std::vector<Complex> want(n);
+    for (std::size_t i = 0; i < n; ++i) want[i] = x[i] * y[i];
+    for (const simd::Isa isa : sweep_isas()) {
+      ForcedIsa forced(isa);
+      std::vector<Complex> got(n);
+      simd::complex_multiply(x.data(), y.data(), got.data(), n);
+      EXPECT_EQ(want, got) << "n=" << n << " isa=" << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(SimdKernels, ComplexMultiplySupportsInPlaceUse) {
+  // Bluestein's pointwise product runs out == x; the kernels must read
+  // each element before writing it.
+  using Complex = std::complex<double>;
+  Rng rng(27);
+  std::vector<Complex> x(17), y(17);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = Complex(rng.normal(), rng.normal());
+    y[i] = Complex(rng.normal(), rng.normal());
+  }
+  for (const simd::Isa isa : sweep_isas()) {
+    ForcedIsa forced(isa);
+    std::vector<Complex> separate(x.size());
+    simd::complex_multiply(x.data(), y.data(), separate.data(), x.size());
+    auto in_place = x;
+    simd::complex_multiply(in_place.data(), y.data(), in_place.data(),
+                           in_place.size());
+    EXPECT_EQ(separate, in_place) << "isa=" << simd::isa_name(isa);
+  }
+}
+
+TEST(SimdKernels, NonFiniteInputsBitIdenticalAcrossIsas) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto v = random_doubles(11, 28);
+  v[0] = kNan;
+  v[5] = kInf;
+  v[10] = -kInf;
+  auto packed = random_doubles(4 * 11, 29);
+  packed[7] = kNan;
+  packed[21] = -kInf;
+
+  std::vector<std::vector<double>> norm_runs, fold_runs;
+  std::vector<std::array<double, 4>> dot_runs;
+  for (const simd::Isa isa : sweep_isas()) {
+    ForcedIsa forced(isa);
+    std::array<double, 4> dots{};
+    simd::dot4(v.data(), packed.data(), v.size(), dots.data());
+    dot_runs.push_back(dots);
+    std::vector<double> norm(v.size());
+    simd::normalize(v.data(), v.size(), 0.5, 2.0, norm.data());
+    norm_runs.push_back(std::move(norm));
+    std::vector<double> fold(11);
+    simd::fold_mean(packed.data(), 11, 4, fold.data());
+    fold_runs.push_back(std::move(fold));
+  }
+  for (std::size_t r = 1; r < dot_runs.size(); ++r) {
+    EXPECT_TRUE(bits_equal(dot_runs[0].data(), dot_runs[r].data(), 4));
+    EXPECT_TRUE(bits_equal(norm_runs[0].data(), norm_runs[r].data(),
+                           norm_runs[0].size()));
+    EXPECT_TRUE(bits_equal(fold_runs[0].data(), fold_runs[r].data(),
+                           fold_runs[0].size()));
+  }
+}
+
+TEST(SimdDispatch, NamesRoundTripAndUnknownsRejected) {
+  for (const simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kNeon, simd::Isa::kAvx2}) {
+    const auto parsed = simd::parse_isa(simd::isa_name(isa));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_FALSE(simd::parse_isa("auto").has_value());
+  EXPECT_FALSE(simd::parse_isa("").has_value());
+  EXPECT_FALSE(simd::parse_isa("avx512").has_value());
+}
+
+TEST(SimdDispatch, ForceIsaOverridesAndClampsToHardware) {
+  const simd::Isa detected = simd::detected_isa();
+  {
+    ForcedIsa forced(simd::Isa::kScalar);
+    EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  }
+  // A request for an ISA this CPU lacks must clamp to what it has —
+  // never dispatch into unsupported instructions.
+  const simd::Isa foreign = detected == simd::Isa::kAvx2 ? simd::Isa::kNeon
+                                                         : simd::Isa::kAvx2;
+  {
+    ForcedIsa forced(foreign);
+    EXPECT_EQ(simd::active_isa(), detected);
+  }
+  simd::force_isa(std::nullopt);
+}
+
+}  // namespace
+}  // namespace cellscope

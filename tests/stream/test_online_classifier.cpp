@@ -6,6 +6,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/rng.h"
+#include "common/stats.h"
 #include "common/time_grid.h"
 #include "core/experiment.h"
 #include "mapred/thread_pool.h"
@@ -200,6 +202,66 @@ TEST(OnlineClassifier, SnapshotOfTrainedExperimentIsSelfConsistent) {
       ++agree;
   }
   EXPECT_GT(agree, matrix.n() * 7 / 10);
+}
+
+TEST(OnlineClassifier, NearestCentroidMatchesExplicitScanOnSmallModels) {
+  // Small models (like the paper's five patterns) stay on the index's
+  // brute-force path — nearest_centroid must be the old classify loop
+  // exactly: same argmin, same strict-< first-index tie-break, same
+  // distance value bit for bit.
+  const auto model = synthetic_model();
+  const OnlineClassifier classifier(model);
+  for (const auto profile : {office_bytes, resident_bytes}) {
+    const auto folded = window_with(profile, TimeGrid::kSlots).folded_week();
+    double want_best = squared_distance(folded, model.centroids[0]);
+    std::size_t want = 0;
+    for (std::size_t c = 1; c < model.centroids.size(); ++c) {
+      const double d = squared_distance(folded, model.centroids[c]);
+      if (d < want_best) {
+        want_best = d;
+        want = c;
+      }
+    }
+    double got_best = 0.0;
+    EXPECT_EQ(classifier.nearest_centroid(folded, &got_best), want);
+    EXPECT_EQ(got_best, want_best);
+  }
+}
+
+TEST(OnlineClassifier, AnnIndexAgreesWithExactScanOnLargeModels) {
+  // A model wide enough to cross brute_force_below builds the ANN graph;
+  // on separated centroids its answers still match the exact scan, and
+  // classify() keeps reporting exact distances.
+  Rng rng(99);
+  ModelSnapshot model;
+  const std::size_t k = 150;
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> centroid(kWeek);
+    for (auto& v : centroid) v = static_cast<double>(c) * 6.0 + rng.normal();
+    model.centroids.push_back(std::move(centroid));
+    model.regions.push_back(
+        static_cast<FunctionalRegion>(c % 5));
+    model.populations.push_back(1 + c % 7);
+  }
+  const OnlineClassifier classifier(model);
+  for (std::size_t trial = 0; trial < 100; ++trial) {
+    std::vector<double> query(kWeek);
+    const double center = static_cast<double>(trial % k) * 6.0;
+    for (auto& v : query) v = center + 0.5 * rng.normal();
+    double want_best = squared_distance(query, model.centroids[0]);
+    std::size_t want = 0;
+    for (std::size_t c = 1; c < k; ++c) {
+      const double d = squared_distance(query, model.centroids[c]);
+      if (d < want_best) {
+        want_best = d;
+        want = c;
+      }
+    }
+    double got_best = 0.0;
+    EXPECT_EQ(classifier.nearest_centroid(query, &got_best), want)
+        << "trial " << trial;
+    EXPECT_EQ(got_best, want_best) << "trial " << trial;
+  }
 }
 
 }  // namespace
